@@ -1,0 +1,28 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each benchmark regenerates one paper artefact, prints the rows and also
+persists them under ``benchmarks/results/`` so the output survives
+pytest's output capture (EXPERIMENTS.md is written from these files).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it to benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once through pytest-benchmark.
+
+    These experiments take seconds to minutes; repeated rounds would add
+    nothing but wall-clock, so every figure benchmark is pedantic(1, 1).
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

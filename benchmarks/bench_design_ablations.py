@@ -1,0 +1,29 @@
+"""DESIGN.md extra ablations — BFS vs DFS traversal, multigraph vs simple."""
+
+from _util import emit, run_once
+
+from repro.bench import format_table, multigraph_ablation, traversal_ablation
+
+
+def test_bfs_vs_dfs_traversal(benchmark):
+    rows = run_once(benchmark, traversal_ablation)
+    emit(
+        "ablation_traversal",
+        format_table(rows, title="Ablation: BFS vs DFS traversal"),
+    )
+    # Same search space either way on these graphs; BFS must not lose.
+    bfs = [r["accuracy"] for r in rows if r["traversal"] == "bfs"]
+    dfs = [r["accuracy"] for r in rows if r["traversal"] == "dfs"]
+    assert sum(bfs) / len(bfs) >= sum(dfs) / len(dfs) - 0.05
+
+
+def test_multigraph_vs_simple_drg(benchmark):
+    rows = run_once(benchmark, multigraph_ablation)
+    emit(
+        "ablation_multigraph",
+        format_table(rows, title="Ablation: multigraph vs simple-graph DRG"),
+    )
+    multi = [r for r in rows if r["drg"] == "multigraph"]
+    simple = [r for r in rows if r["drg"] == "simple"]
+    # The multigraph retains at least as many join opportunities.
+    assert sum(r["edges"] for r in multi) >= sum(r["edges"] for r in simple)

@@ -1,0 +1,22 @@
+"""Figure 3a — relevance metrics: aggregated accuracy and runtime."""
+
+from _util import emit, run_once
+
+from repro.bench import fig3a_relevance_comparison, format_table
+
+
+def test_fig3a_relevance_metrics(benchmark):
+    rows = run_once(benchmark, fig3a_relevance_comparison)
+    emit(
+        "fig3a_relevance",
+        format_table(rows, title="Figure 3a: relevance metric comparison"),
+    )
+    by_metric = {r["metric"]: r for r in rows}
+    # Paper shape: the correlation metrics are the cheap ones, and Spearman
+    # is the accuracy recommendation.
+    assert by_metric["pearson"]["mean_selection_seconds"] <= min(
+        by_metric["information_gain"]["mean_selection_seconds"],
+        by_metric["symmetrical_uncertainty"]["mean_selection_seconds"],
+    ) * 3
+    best = max(rows, key=lambda r: r["mean_accuracy"])
+    assert best["metric"] in ("spearman", "pearson")

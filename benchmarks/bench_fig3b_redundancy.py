@@ -1,0 +1,26 @@
+"""Figure 3b — redundancy methods: aggregated accuracy and runtime."""
+
+from _util import emit, run_once
+
+from repro.bench import fig3b_redundancy_comparison, format_table
+
+
+def test_fig3b_redundancy_methods(benchmark):
+    rows = run_once(benchmark, fig3b_redundancy_comparison)
+    emit(
+        "fig3b_redundancy",
+        format_table(rows, title="Figure 3b: redundancy method comparison"),
+    )
+    by_method = {r["method"]: r for r in rows}
+    # Paper shape: MIFS/MRMR skip the conditional-MI term and are the
+    # fast group; the conditional methods pay for it in runtime.
+    fast = min(
+        by_method["mifs"]["mean_selection_seconds"],
+        by_method["mrmr"]["mean_selection_seconds"],
+    )
+    slow = max(
+        by_method["cife"]["mean_selection_seconds"],
+        by_method["jmi"]["mean_selection_seconds"],
+        by_method["cmim"]["mean_selection_seconds"],
+    )
+    assert slow > fast

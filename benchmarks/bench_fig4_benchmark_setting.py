@@ -1,0 +1,39 @@
+"""Figure 4 — benchmark setting (KFK snowflake): runtime split + accuracy.
+
+Reproduces the main comparison: BASE / ARDA / MAB / JoinAll / JoinAll+F /
+AutoFeat on tree-based models, per dataset. Set REPRO_BENCH_FULL=1 for the
+whole Table II matrix with all four tree models.
+"""
+
+from _util import emit, run_once
+
+from repro.bench import (
+    average_by_method,
+    fig4_benchmark_setting,
+    format_table,
+)
+
+
+def test_fig4_benchmark_setting(benchmark):
+    rows = run_once(benchmark, fig4_benchmark_setting)
+    emit(
+        "fig4_benchmark_setting",
+        format_table(rows, title="Figure 4: benchmark setting (tree models)")
+        + "\n\n"
+        + format_table(
+            average_by_method(rows), title="Figure 4: mean accuracy per method"
+        )
+        + "\n"
+        + format_table(
+            average_by_method(rows, "fs_seconds"),
+            title="Figure 4: mean feature-selection seconds per method",
+        ),
+    )
+    means = {r["method"]: r["mean_accuracy"] for r in average_by_method(rows)}
+    # Paper shape: augmentation beats the bare base table...
+    assert means["AutoFeat"] > means["BASE"]
+    # ...and AutoFeat's transitive reach at least matches single-hop ARDA.
+    assert means["AutoFeat"] >= means["ARDA"] - 0.02
+    fs = {r["method"]: r["mean_fs_seconds"] for r in average_by_method(rows, "fs_seconds")}
+    assert fs["AutoFeat"] < fs["ARDA"]
+    assert fs["AutoFeat"] < fs["MAB"]

@@ -1,0 +1,17 @@
+"""Figure 5 — benchmark setting with non-tree models (KNN, logistic-L1)."""
+
+from _util import emit, run_once
+
+from repro.bench import average_by_method, fig5_nontree_benchmark, format_table
+
+
+def test_fig5_nontree_models_benchmark(benchmark):
+    rows = run_once(benchmark, fig5_nontree_benchmark)
+    emit(
+        "fig5_nontree_benchmark",
+        format_table(rows, title="Figure 5: benchmark setting (KNN / logistic-L1)"),
+    )
+    means = {r["method"]: r["mean_accuracy"] for r in average_by_method(rows)}
+    # Non-tree models benefit less, but augmentation still should not lose
+    # to the base table on average.
+    assert means["AutoFeat"] >= means["BASE"] - 0.02

@@ -1,0 +1,23 @@
+"""Figure 6 — data-lake setting (discovered edges at threshold 0.55)."""
+
+from _util import emit, run_once
+
+from repro.bench import average_by_method, fig6_datalake_setting, format_table
+
+
+def test_fig6_datalake_setting(benchmark):
+    rows = run_once(benchmark, fig6_datalake_setting)
+    emit(
+        "fig6_datalake_setting",
+        format_table(rows, title="Figure 6: data-lake setting (tree models)")
+        + "\n\n"
+        + format_table(
+            average_by_method(rows), title="Figure 6: mean accuracy per method"
+        ),
+    )
+    means = {r["method"]: r["mean_accuracy"] for r in average_by_method(rows)}
+    assert means["AutoFeat"] > means["BASE"]
+    assert means["AutoFeat"] >= means["ARDA"] - 0.02
+    assert means["AutoFeat"] >= means["MAB"] - 0.02
+    fs = {r["method"]: r["mean_fs_seconds"] for r in average_by_method(rows, "fs_seconds")}
+    assert fs["AutoFeat"] < fs["MAB"]

@@ -1,0 +1,14 @@
+"""Figure 7 — data-lake setting with non-tree models (KNN, logistic-L1)."""
+
+from _util import emit, run_once
+
+from repro.bench import average_by_method, fig7_nontree_datalake, format_table
+
+
+def test_fig7_nontree_models_datalake(benchmark):
+    rows = run_once(benchmark, fig7_nontree_datalake)
+    emit(
+        "fig7_nontree_datalake",
+        format_table(rows, title="Figure 7: data-lake setting (KNN / logistic-L1)"),
+    )
+    assert any(r["method"] == "AutoFeat" for r in rows)

@@ -1,0 +1,30 @@
+"""Figure 8 — sensitivity to the hyper-parameters kappa and tau."""
+
+from _util import emit, run_once
+
+from repro.bench import fig8_kappa_sensitivity, fig8_tau_sensitivity, format_table
+
+
+def test_fig8a_kappa_sensitivity(benchmark):
+    rows = run_once(benchmark, fig8_kappa_sensitivity)
+    emit(
+        "fig8a_kappa",
+        format_table(rows, title="Figure 8a: sensitivity to kappa"),
+    )
+    # Paper shape: accuracy is non-decreasing-ish in kappa; the knee means
+    # large kappa never *hurts* much relative to tiny kappa.
+    assert rows[-1]["mean_accuracy"] >= rows[0]["mean_accuracy"] - 0.02
+
+
+def test_fig8bcd_tau_sensitivity(benchmark):
+    rows = run_once(benchmark, fig8_tau_sensitivity)
+    emit(
+        "fig8bcd_tau",
+        format_table(rows, title="Figure 8b-d: sensitivity to tau (per dataset)"),
+    )
+    # Paper shape: at tau = 1 the low-match-rate school lake yields no
+    # surviving paths (accuracy collapses to the no-augmentation outcome).
+    school_tau1 = [r for r in rows if r["dataset"] == "school" and r["tau"] == 1.0]
+    school_mid = [r for r in rows if r["dataset"] == "school" and r["tau"] == 0.65]
+    assert school_tau1 and school_mid
+    assert school_tau1[0]["accuracy"] <= school_mid[0]["accuracy"]

@@ -1,0 +1,21 @@
+"""Figure 9 — ablation: AutoFeat variants (relevance x redundancy)."""
+
+from _util import emit, run_once
+
+from repro.bench import fig9_ablation, format_table
+
+
+def test_fig9_ablation(benchmark):
+    rows = run_once(benchmark, fig9_ablation)
+    emit("fig9_ablation", format_table(rows, title="Figure 9: ablation study"))
+    by_variant = {}
+    for row in rows:
+        by_variant.setdefault(row["variant"], []).append(row)
+    mean = lambda vals, key: sum(r[key] for r in vals) / len(vals)
+    # Paper shape: the JMI variants are slower than the MRMR ones.
+    assert mean(by_variant["spearman-jmi"], "fs_seconds") > mean(
+        by_variant["spearman-mrmr"], "fs_seconds"
+    ) * 0.8
+    # The published configuration stays within a whisker of the best variant.
+    best = max(mean(v, "accuracy") for v in by_variant.values())
+    assert mean(by_variant["spearman-mrmr"], "accuracy") >= best - 0.05

@@ -1,0 +1,34 @@
+"""Section VII headline — speedups and accuracy deltas vs the baselines."""
+
+from _util import emit, run_once
+
+from repro.bench import (
+    BenchProfile,
+    compare_methods,
+    format_table,
+    headline_summary,
+)
+
+
+def test_headline_summary(benchmark):
+    profile = BenchProfile.from_env()
+
+    def run():
+        rows = compare_methods(profile, "benchmark")
+        rows += compare_methods(profile, "datalake")
+        return rows, headline_summary(rows)
+
+    rows, summary = run_once(benchmark, run)
+    emit(
+        "headline_summary",
+        format_table(
+            summary,
+            title="Headline: per-method means, AutoFeat speedup and accuracy delta",
+        ),
+    )
+    by_method = {r["method"]: r for r in summary}
+    # Paper headline shape: AutoFeat's selection is multiples faster than
+    # the model-in-the-loop baselines and at least as accurate on average.
+    assert by_method["ARDA"]["autofeat_speedup"] > 3
+    assert by_method["MAB"]["autofeat_speedup"] > 3
+    assert by_method["BASE"]["autofeat_acc_delta"] > 0.05

@@ -1,0 +1,21 @@
+"""Equation 3 — the factorial explosion of JoinAll orderings."""
+
+from math import factorial
+
+from _util import emit, run_once
+
+from repro.bench import format_table, joinall_explosion
+
+
+def test_eq3_joinall_explosion(benchmark):
+    rows = run_once(benchmark, joinall_explosion)
+    emit(
+        "eq3_joinall",
+        format_table(rows, title="Equation 3: JoinAll ordering counts"),
+    )
+    by_key = {(r["dataset"], r["setting"]): r for r in rows}
+    # school is near-star with 16 satellites: orderings reach the
+    # "did not finish" regime the paper reports (15! for their split).
+    assert by_key[("school", "benchmark")]["joinall_orderings"] >= factorial(10)
+    # credit's small snowflake stays tractable.
+    assert by_key[("credit", "benchmark")]["joinall_orderings"] < 10_000

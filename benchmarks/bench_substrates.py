@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the substrates (real repeated-timing benchmarks).
+
+Not a paper artefact: these keep the performance of the building blocks —
+hash join, relevance scoring, boosting, schema matching — visible so
+regressions in the substrates don't silently masquerade as algorithm
+slowdowns in the figure benchmarks.
+"""
+
+import numpy as np
+
+from repro.dataframe import Table, left_join
+from repro.discovery import ComaMatcher
+from repro.ml import LightGBMClassifier
+from repro.selection import redundancy_scores, relevance_scores
+
+RNG = np.random.default_rng(0)
+N = 5000
+
+LEFT = Table(
+    {"id": np.arange(N), "x": RNG.normal(size=N)}, name="left"
+)
+RIGHT = Table(
+    {"id": RNG.permutation(N), "y": RNG.normal(size=N)}, name="right"
+)
+X = RNG.normal(size=(2000, 30))
+Y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(float)
+
+
+def test_left_join_throughput(benchmark):
+    result = benchmark(lambda: left_join(LEFT, RIGHT, "id", "id"))
+    assert result.n_rows == N
+
+
+def test_spearman_scoring_throughput(benchmark):
+    scores = benchmark(lambda: relevance_scores(X, Y, metric="spearman"))
+    assert scores.shape == (30,)
+
+
+def test_mrmr_scoring_throughput(benchmark):
+    selected = X[:, :5]
+    scores = benchmark(
+        lambda: redundancy_scores(X[:, 5:15], selected, Y, method="mrmr")
+    )
+    assert scores.shape == (10,)
+
+
+def test_lightgbm_fit_throughput(benchmark):
+    def fit():
+        return LightGBMClassifier(n_estimators=20).fit(X, Y.astype(int))
+
+    model = benchmark.pedantic(fit, rounds=3, iterations=1)
+    assert np.mean(model.predict(X) == Y) > 0.8
+
+
+def test_coma_match_throughput(benchmark):
+    a = Table({"key": np.arange(1000), "v": RNG.normal(size=1000)}, name="a")
+    b = Table({"key": np.arange(1000), "w": RNG.normal(size=1000)}, name="b")
+
+    def match():
+        return ComaMatcher().match(a, b)  # fresh matcher: no profile cache
+
+    matches = benchmark(match)
+    assert matches

@@ -1,0 +1,11 @@
+"""Table II — dataset overview: paper shape vs generated synthetic lakes."""
+
+from _util import emit, run_once
+
+from repro.bench import format_table, table2_overview
+
+
+def test_table2_dataset_overview(benchmark):
+    rows = run_once(benchmark, table2_overview)
+    emit("table2_datasets", format_table(rows, title="Table II: dataset overview"))
+    assert len(rows) == 8

@@ -1,0 +1,64 @@
+"""Auditing a lake before augmentation.
+
+Before pointing AutoFeat at a lake, a practitioner wants to know: how
+complete is each table, which columns are junk (constant), which are key
+material, and do the declared KFK constraints actually hold in the data?
+This example runs that audit over a generated evaluation lake using the
+data-quality module — the general form of the completeness statistic
+AutoFeat's τ-pruning relies on.
+
+Run:  python examples/lake_quality_audit.py
+"""
+
+from repro.bench import print_table
+from repro.datasets import build_dataset
+from repro.dataframe import quality_report, verify_key_constraint
+
+
+def main() -> None:
+    bundle = build_dataset("eyemove")
+    tables = {t.name: t for t in bundle.tables}
+
+    rows = []
+    for table in bundle.tables:
+        report = quality_report(table)
+        rows.append(
+            {
+                "table": report.table_name,
+                "rows": report.n_rows,
+                "columns": len(report.columns),
+                "completeness": round(report.completeness, 4),
+                "constant_cols": len(report.constant_columns),
+                "key_candidates": ", ".join(report.key_candidates[:3]),
+            }
+        )
+    print_table(rows, title="Per-table quality")
+    print()
+
+    base_quality = quality_report(bundle.base_table)
+    print_table(base_quality.rows(), title=f"Column quality: {bundle.base_name}")
+    print()
+
+    constraint_rows = []
+    for constraint in bundle.constraints:
+        constraint_rows.append(
+            verify_key_constraint(
+                tables[constraint.table_a],
+                constraint.column_a,
+                tables[constraint.table_b],
+                constraint.column_b,
+            )
+        )
+    print_table(constraint_rows, title="Declared KFK constraints vs the data")
+    print()
+    worst = min(constraint_rows, key=lambda r: r["coverage"])
+    print(
+        f"lowest referential coverage: {worst['parent']} -> {worst['child']} "
+        f"at {worst['coverage']:.2%} — joins through it will carry "
+        f"~{1 - worst['coverage']:.0%} nulls, which is what AutoFeat's "
+        "tau threshold prunes on."
+    )
+
+
+if __name__ == "__main__":
+    main()

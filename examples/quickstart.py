@@ -1,0 +1,102 @@
+"""Quickstart: the paper's Figure 2 running example, end to end.
+
+A loan-approval base table is surrounded by four candidate tables; the
+feature that actually predicts approval (the property value) sits two hops
+away, behind a transitive join.  AutoFeat finds it, ranks the path first
+and trains a model on the augmented table.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AutoFeat, AutoFeatConfig, DatasetRelationGraph, KFKConstraint, Table
+from repro.ml import evaluate_accuracy
+
+
+def build_lake(n: int = 800, seed: int = 7):
+    """The Figure 2 lake: applicants + four candidate tables."""
+    rng = np.random.default_rng(seed)
+    applicant_id = np.arange(n)
+    income = rng.normal(50, 15, n)
+    property_id = np.arange(n)
+    property_value = rng.normal(300, 80, n)
+    # Loan approval depends on income AND the (transitive) property value.
+    approval = (
+        income / 15 + property_value / 80 + rng.normal(0, 0.5, n) > 5.3
+    ).astype(int)
+
+    applicants = Table(
+        {
+            "applicant_id": applicant_id,
+            "income": income,
+            "loan_approval": approval,
+        },
+        name="applicants",
+    )
+    personal = Table(
+        {
+            "applicant_id": applicant_id,
+            "property_id": property_id,
+            "n_children": rng.integers(0, 4, n),
+        },
+        name="personal_information",
+    )
+    property_values = Table(
+        {
+            "property_id": property_id,
+            "value": property_value,
+            "rooms": rng.integers(1, 8, n),
+        },
+        name="property_value",
+    )
+    credit = Table(
+        {
+            "applicant_id": applicant_id,
+            "credit_score": rng.normal(600, 50, n),
+        },
+        name="credit_profile",
+    )
+    loan_history = Table(
+        {
+            "applicant_id": applicant_id,
+            "past_defaults": rng.integers(0, 3, n),
+        },
+        name="loan_history",
+    )
+    constraints = [
+        KFKConstraint("applicants", "applicant_id", "personal_information", "applicant_id"),
+        KFKConstraint("personal_information", "property_id", "property_value", "property_id"),
+        KFKConstraint("applicants", "applicant_id", "credit_profile", "applicant_id"),
+        KFKConstraint("applicants", "applicant_id", "loan_history", "applicant_id"),
+    ]
+    tables = [applicants, personal, property_values, credit, loan_history]
+    return DatasetRelationGraph.from_constraints(tables, constraints), applicants
+
+
+def main() -> None:
+    drg, applicants = build_lake()
+    print(drg)
+
+    base_accuracy = evaluate_accuracy(applicants, "loan_approval", "lightgbm", seed=1)
+    print(f"BASE accuracy (no augmentation): {base_accuracy:.4f}\n")
+
+    autofeat = AutoFeat(drg, AutoFeatConfig(kappa=10, top_k=3, seed=1))
+    result = autofeat.augment("applicants", "loan_approval", model_name="lightgbm")
+
+    print("Ranked join paths:")
+    for trained in result.trained:
+        print(f"  acc={trained.accuracy:.4f}  {trained.ranked.describe()}")
+    print()
+    from repro.core import explain
+
+    print(explain(result))
+    print()
+    assert result.augmented_table is not None
+    print("Augmented table columns:", result.augmented_table.column_names)
+    improvement = result.accuracy - base_accuracy
+    print(f"\nAccuracy improvement over BASE: {improvement:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""AutoFeat reproduction: transitive feature discovery over join paths.
+
+A full-stack reproduction of *AutoFeat: Transitive Feature Discovery over
+Join Paths* (ICDE 2024), including every substrate it stands on: an
+in-memory columnar table engine, a COMA-style schema-matching discovery
+layer, the Dataset Relation Graph, information-theoretic feature
+selection, a from-scratch tree/boosting ML stack, and the ARDA / MAB /
+JoinAll baselines the paper compares against.
+
+Quickstart::
+
+    from repro import AutoFeat, AutoFeatConfig, DatasetRelationGraph
+    from repro.discovery import ComaMatcher
+
+    drg = DatasetRelationGraph.from_discovery(tables, ComaMatcher())
+    result = AutoFeat(drg).augment("base_table", "label")
+    print(result.summary())
+"""
+
+from .core import (
+    AugmentationResult,
+    AutoFeat,
+    AutoFeatConfig,
+    DiscoveryResult,
+    RankedPath,
+    TrainedPath,
+    autofeat_augment,
+)
+from .dataframe import Column, DType, Table
+from .errors import (
+    ConfigError,
+    DatasetError,
+    DiscoveryError,
+    GraphError,
+    JoinError,
+    ModelError,
+    ReproError,
+    SchemaError,
+    SelectionError,
+)
+from .graph import DatasetRelationGraph, JoinPath, KFKConstraint
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoFeat",
+    "AutoFeatConfig",
+    "autofeat_augment",
+    "DiscoveryResult",
+    "RankedPath",
+    "TrainedPath",
+    "AugmentationResult",
+    "Table",
+    "Column",
+    "DType",
+    "DatasetRelationGraph",
+    "KFKConstraint",
+    "JoinPath",
+    "ReproError",
+    "SchemaError",
+    "JoinError",
+    "GraphError",
+    "SelectionError",
+    "ModelError",
+    "DiscoveryError",
+    "ConfigError",
+    "DatasetError",
+    "__version__",
+]

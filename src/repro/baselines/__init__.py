@@ -1,0 +1,27 @@
+"""Baseline augmentation systems: BASE, ARDA, MAB, JoinAll(+F).
+
+Reimplemented from their published descriptions (the AutoFeat authors did
+the same for ARDA, whose source is unavailable).  All baselines and
+AutoFeat itself share the :class:`BaselineResult` record so the benchmark
+harness can compare them uniformly.
+"""
+
+from .arda import rifs_select, run_arda
+from .autofeat_adapter import run_autofeat
+from .base import run_base
+from .common import BaselineResult, join_neighbor
+from .join_all import FEASIBILITY_CAP, join_all_table, run_join_all
+from .mab import run_mab
+
+__all__ = [
+    "BaselineResult",
+    "join_neighbor",
+    "run_base",
+    "run_arda",
+    "rifs_select",
+    "run_mab",
+    "run_join_all",
+    "join_all_table",
+    "FEASIBILITY_CAP",
+    "run_autofeat",
+]

@@ -1,0 +1,66 @@
+"""Shared result type and join helpers for the baseline systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataframe import Table, left_join
+from ..graph import DatasetRelationGraph
+
+__all__ = ["BaselineResult", "join_neighbor"]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Comparable outcome record for every augmentation approach.
+
+    The benchmark harness renders Figures 4-7 from exactly these fields:
+    accuracy, feature-selection time vs total time, and the number of
+    datasets the method joined to reach its answer.
+    """
+
+    method: str
+    dataset: str
+    model_name: str
+    accuracy: float
+    feature_selection_seconds: float
+    total_seconds: float
+    n_joined_tables: int
+    n_features_used: int
+
+    def row(self) -> dict:
+        """Flat dict for report tables."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "model": self.model_name,
+            "accuracy": round(self.accuracy, 4),
+            "fs_seconds": round(self.feature_selection_seconds, 4),
+            "total_seconds": round(self.total_seconds, 4),
+            "joined_tables": self.n_joined_tables,
+            "features": self.n_features_used,
+        }
+
+
+def join_neighbor(
+    current: Table,
+    drg: DatasetRelationGraph,
+    source: str,
+    target: str,
+    base_name: str,
+    seed: int = 0,
+) -> tuple[Table, list[str]] | None:
+    """Join ``target`` onto the running table via the best join option.
+
+    Returns ``(joined, contributed_columns)`` or None when no join option
+    exists or the join column is missing from the running table.
+    """
+    from ..core.materialize import apply_hop
+
+    options = drg.best_join_options(source, target)
+    if not options:
+        return None
+    try:
+        return apply_hop(current, drg, options[0], base_name, seed)
+    except Exception:
+        return None

@@ -1,0 +1,116 @@
+"""JoinAll and JoinAll+F baselines (paper Section VII-B).
+
+JoinAll left-joins every reachable table onto the base table.  When joins
+are KFK and 1:1 there is a single possible result; otherwise the join
+*order* matters and the number of distinct orderings explodes factorially
+(Equation 3) — :func:`repro.graph.join_all_path_count` computes that
+number, and :func:`run_join_all` refuses to run past a feasibility cap the
+same way the paper's baseline timed out on the *school* dataset.
+
+We execute one canonical ordering (BFS discovery order), which is how the
+baseline is realised in practice for the feasible cases.  JoinAll+F runs a
+filter feature selection (top-κ Spearman) over the single wide table
+before training — cheap selection, expensive join.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..dataframe import Table
+from ..errors import JoinError
+from ..graph import DatasetRelationGraph, bfs_levels, join_all_path_count
+from ..ml import evaluate_accuracy
+from ..selection import select_k_best_named
+from .common import BaselineResult, join_neighbor
+
+__all__ = ["run_join_all", "join_all_table", "FEASIBILITY_CAP"]
+
+#: Orderings beyond this are treated as "did not finish" (school's 15!).
+FEASIBILITY_CAP = 10_000_000
+
+
+def join_all_table(
+    drg: DatasetRelationGraph,
+    base_name: str,
+    seed: int = 0,
+) -> tuple[Table, int]:
+    """Join every reachable table in BFS order; returns (wide, n_joined)."""
+    base = drg.table(base_name)
+    levels = bfs_levels(drg.graph, base_name)
+    order = sorted(
+        (name for name in levels if name != base_name),
+        key=lambda n: (levels[n], n),
+    )
+    current = base
+    joined = 0
+    parents: dict[str, str] = {base_name: base_name}
+    for name in order:
+        # Join through any already-joined neighbour on a shallower level.
+        sources = [
+            n
+            for n in drg.neighbors(name)
+            if levels.get(n, 10**9) < levels[name] and n in parents
+        ]
+        result = None
+        for source in sources:
+            result = join_neighbor(current, drg, source, name, base_name, seed)
+            if result is not None:
+                break
+        if result is None:
+            continue
+        current, __ = result
+        parents[name] = sources[0]
+        joined += 1
+    return current, joined
+
+
+def run_join_all(
+    drg: DatasetRelationGraph,
+    base_name: str,
+    label_column: str,
+    model_name: str = "lightgbm",
+    with_filter: bool = False,
+    kappa: int = 15,
+    seed: int = 0,
+    feasibility_cap: int = FEASIBILITY_CAP,
+) -> BaselineResult:
+    """JoinAll (``with_filter=False``) or JoinAll+F (``True``).
+
+    Raises :class:`JoinError` when Equation (3) puts the number of
+    orderings past ``feasibility_cap`` — the "did not finish within the
+    time constraint" outcome of the paper.
+    """
+    orderings = join_all_path_count(drg.graph, base_name)
+    if orderings > feasibility_cap:
+        raise JoinError(
+            f"JoinAll is infeasible on {base_name!r}: {orderings} possible "
+            f"join orderings exceed the cap of {feasibility_cap}"
+        )
+    started = time.perf_counter()
+    wide, joined = join_all_table(drg, base_name, seed)
+    fs_seconds = 0.0
+    feature_names = [n for n in wide.column_names if n != label_column]
+    if with_filter:
+        fs_started = time.perf_counter()
+        label = wide.column(label_column).to_float()
+        matrix = wide.numeric_matrix(feature_names)
+        kept, __ = select_k_best_named(
+            matrix, feature_names, label, k=kappa, metric="spearman", seed=seed
+        )
+        fs_seconds = time.perf_counter() - fs_started
+        if kept:
+            feature_names = kept
+    acc = evaluate_accuracy(
+        wide, label_column, model_name, feature_names=feature_names, seed=seed
+    )
+    return BaselineResult(
+        method="JoinAll+F" if with_filter else "JoinAll",
+        dataset=drg.table(base_name).name,
+        model_name=model_name,
+        accuracy=acc,
+        feature_selection_seconds=fs_seconds,
+        total_seconds=time.perf_counter() - started,
+        n_joined_tables=joined,
+        n_features_used=len(feature_names),
+    )

@@ -1,0 +1,100 @@
+"""Command-line experiment runner: ``python -m repro.bench <experiment>``.
+
+Regenerates a single paper artefact without going through pytest::
+
+    python -m repro.bench table2
+    python -m repro.bench fig4 --full
+    python -m repro.bench list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    fig3a_relevance_comparison,
+    fig3b_redundancy_comparison,
+    fig4_benchmark_setting,
+    fig5_nontree_benchmark,
+    fig6_datalake_setting,
+    fig7_nontree_datalake,
+    fig8_kappa_sensitivity,
+    fig8_tau_sensitivity,
+    fig9_ablation,
+    headline_summary,
+    joinall_explosion,
+    matcher_comparison,
+    streaming_selector_comparison,
+    multigraph_ablation,
+    table2_overview,
+    traversal_ablation,
+)
+from .harness import BenchProfile, compare_methods
+from .reporting import format_table
+
+EXPERIMENTS = {
+    "table2": ("Table II dataset overview", lambda p: table2_overview()),
+    "fig3a": ("Figure 3a relevance metrics", lambda p: fig3a_relevance_comparison()),
+    "fig3b": ("Figure 3b redundancy methods", lambda p: fig3b_redundancy_comparison()),
+    "fig4": ("Figure 4 benchmark setting", fig4_benchmark_setting),
+    "fig5": ("Figure 5 non-tree benchmark", fig5_nontree_benchmark),
+    "fig6": ("Figure 6 data-lake setting", fig6_datalake_setting),
+    "fig7": ("Figure 7 non-tree data lake", fig7_nontree_datalake),
+    "fig8a": ("Figure 8a kappa sensitivity", lambda p: fig8_kappa_sensitivity()),
+    "fig8b": ("Figure 8b-d tau sensitivity", lambda p: fig8_tau_sensitivity()),
+    "fig9": ("Figure 9 ablation study", lambda p: fig9_ablation()),
+    "eq3": ("Equation 3 JoinAll explosion", lambda p: joinall_explosion()),
+    "traversal": ("BFS vs DFS ablation", lambda p: traversal_ablation()),
+    "multigraph": ("multigraph vs simple DRG", lambda p: multigraph_ablation()),
+    "matchers": ("discovery matcher comparison", lambda p: matcher_comparison()),
+    "streaming": ("streaming selector comparison", lambda p: streaming_selector_comparison()),
+}
+
+
+def _run_headline(profile: BenchProfile) -> list[dict]:
+    rows = compare_methods(profile, "benchmark")
+    rows += compare_methods(profile, "datalake")
+    return headline_summary(rows)
+
+
+EXPERIMENTS["headline"] = ("Section VII headline summary", _run_headline)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate one paper table/figure from the AutoFeat reproduction.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list"],
+        help="experiment id (or 'list' to enumerate)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full Table II matrix instead of the quick profile",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        rows = [
+            {"id": key, "artefact": meta[0]} for key, meta in sorted(EXPERIMENTS.items())
+        ]
+        print(format_table(rows, title="available experiments"))
+        return 0
+
+    profile = BenchProfile.full() if args.full else BenchProfile.quick()
+    title, runner = EXPERIMENTS[args.experiment]
+    rows = runner(profile)
+    try:
+        print(format_table(rows, title=title))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error for a CLI.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

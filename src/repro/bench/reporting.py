@@ -1,0 +1,78 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every experiment prints the same rows/series the paper's figures plot, as
+aligned ASCII tables — the reproduction artefact EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "print_table", "format_series", "summarise"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, columns, title))
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[Any],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render parallel series (figure curves) as one table."""
+    rows = []
+    for i, x in enumerate(xs):
+        row = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i]
+        rows.append(row)
+    return format_table(rows, [x_label, *series.keys()], title)
+
+
+def summarise(values: Sequence[float]) -> dict[str, float]:
+    """Mean / min / max of a numeric sequence (empty-safe)."""
+    if not values:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+    }

@@ -1,0 +1,38 @@
+"""AutoFeat core: ranking-based transitive feature discovery."""
+
+from .autofeat import AutoFeat, autofeat_augment
+from .config import AutoFeatConfig
+from .explain import FeatureProvenance, explain, explain_rows
+from .materialize import apply_hop, materialize_path, qualified, source_column_name
+from .pruning import completeness, passes_quality, similarity_pruned_count
+from .ranking import compute_ranking_score, normalised_sum
+from .result import AugmentationResult, DiscoveryResult, RankedPath, TrainedPath
+from .streaming import StageOutcome, StreamingFeatureSelector
+from .tuning import AutoFeatTuner, TuningOutcome, TuningTrial
+
+__all__ = [
+    "AutoFeatTuner",
+    "TuningOutcome",
+    "TuningTrial",
+    "AutoFeat",
+    "autofeat_augment",
+    "AutoFeatConfig",
+    "explain",
+    "explain_rows",
+    "FeatureProvenance",
+    "DiscoveryResult",
+    "RankedPath",
+    "TrainedPath",
+    "AugmentationResult",
+    "StreamingFeatureSelector",
+    "StageOutcome",
+    "compute_ranking_score",
+    "normalised_sum",
+    "completeness",
+    "passes_quality",
+    "similarity_pruned_count",
+    "materialize_path",
+    "apply_hop",
+    "qualified",
+    "source_column_name",
+]

@@ -1,0 +1,228 @@
+"""AutoFeat — ranking-based transitive feature discovery (Algorithm 1).
+
+The online component of the paper: starting from the base table, traverse
+the Dataset Relation Graph breadth-first; at every hop, join, prune on
+similarity score and data quality, push the new features through streaming
+relevance/redundancy selection, and score the path (Algorithm 2).  The
+top-k ranked paths are then materialised in full and evaluated by training
+the target model, and the most accurate path wins.
+
+Typical use::
+
+    drg = DatasetRelationGraph.from_discovery(tables, ComaMatcher())
+    autofeat = AutoFeat(drg, AutoFeatConfig(tau=0.65, kappa=15))
+    result = autofeat.augment("applicants", "loan_approval")
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from ..dataframe import Table, stratified_sample
+from ..errors import JoinError
+from ..graph import DatasetRelationGraph, JoinPath
+from ..ml import evaluate_accuracy
+from .config import AutoFeatConfig
+from .materialize import apply_hop, materialize_path, qualified
+from .pruning import completeness, similarity_pruned_count
+from .ranking import compute_ranking_score
+from .result import AugmentationResult, DiscoveryResult, RankedPath, TrainedPath
+from .streaming import StreamingFeatureSelector
+
+__all__ = ["AutoFeat", "autofeat_augment"]
+
+
+class AutoFeat:
+    """Feature discovery over a Dataset Relation Graph."""
+
+    def __init__(self, drg: DatasetRelationGraph, config: AutoFeatConfig | None = None):
+        self.drg = drg
+        self.config = config or AutoFeatConfig()
+
+    # -- discovery (ranking) phase ---------------------------------------------
+
+    def discover(self, base_name: str, label_column: str) -> DiscoveryResult:
+        """Rank all surviving join paths from ``base_name``.
+
+        Runs entirely on a stratified sample of the base table; no ML model
+        is trained.  Returns paths sorted by ranking score (descending).
+        """
+        config = self.config
+        started = time.perf_counter()
+
+        base = self.drg.table(base_name)
+        if label_column not in base:
+            raise JoinError(
+                f"base table {base_name!r} has no label column {label_column!r}"
+            )
+        sample = stratified_sample(
+            base, label_column, config.sample_size, seed=config.seed
+        )
+        label = sample.column(label_column).to_float()
+
+        selector = StreamingFeatureSelector(config, label)
+        base_features = [n for n in sample.column_names if n != label_column]
+        if base_features:
+            selector.seed_with(base_features, sample.numeric_matrix(base_features))
+
+        ranked: list[RankedPath] = []
+        explored = 0
+        pruned_quality = 0
+        pruned_similarity = 0
+
+        # Each frontier entry carries the partially-joined sample and the
+        # qualified features accepted along the path so far.
+        frontier: deque[tuple[JoinPath, Table, tuple[str, ...]]] = deque(
+            [(JoinPath(base_name), sample, ())]
+        )
+        while frontier:
+            # BFS pops the oldest path (level order); the DFS ablation pops
+            # the newest, diving deep before finishing a level.
+            if config.traversal == "bfs":
+                path, current, path_features = frontier.popleft()
+            else:
+                path, current, path_features = frontier.pop()
+            if path.length >= config.max_path_length:
+                continue
+            visited = set(path.nodes)
+            for neighbor in self.drg.neighbors(path.terminal):
+                if neighbor in visited:
+                    continue
+                pruned_similarity += similarity_pruned_count(
+                    self.drg, path.terminal, neighbor
+                )
+                for edge in self.drg.best_join_options(path.terminal, neighbor):
+                    explored += 1
+                    try:
+                        joined, contributed = apply_hop(
+                            current, self.drg, edge, base_name, config.seed
+                        )
+                    except JoinError:
+                        pruned_quality += 1
+                        continue
+                    comp = completeness(joined, contributed)
+                    if comp < config.tau:
+                        pruned_quality += 1
+                        continue
+
+                    join_key = qualified(edge.target, edge.target_column)
+                    candidates = [c for c in contributed if c != join_key]
+                    outcome = selector.process_batch(
+                        candidates, joined.numeric_matrix(candidates)
+                    )
+                    score = compute_ranking_score(
+                        outcome.relevance_scores, outcome.redundancy_scores
+                    )
+                    new_path = path.extend(edge)
+                    new_features = path_features + outcome.accepted_names
+                    ranked.append(
+                        RankedPath(
+                            path=new_path,
+                            score=score,
+                            selected_features=new_features,
+                            relevance_scores=outcome.relevance_scores,
+                            redundancy_scores=outcome.redundancy_scores,
+                            completeness=comp,
+                            relevant_names=outcome.relevant_names,
+                        )
+                    )
+                    # Even an all-irrelevant join stays in the frontier: it
+                    # may be the gateway to a relevant transitive table.
+                    frontier.append((new_path, joined, new_features))
+
+        ranked.sort(key=lambda r: (-r.score, r.path.length, r.path.describe()))
+        return DiscoveryResult(
+            base_table=base_name,
+            label_column=label_column,
+            ranked_paths=tuple(ranked),
+            n_paths_explored=explored,
+            n_paths_pruned_quality=pruned_quality,
+            n_joins_pruned_similarity=pruned_similarity,
+            feature_selection_seconds=time.perf_counter() - started,
+        )
+
+    # -- training phase -----------------------------------------------------------
+
+    def train_top_k(
+        self,
+        discovery: DiscoveryResult,
+        model_name: str = "lightgbm",
+    ) -> AugmentationResult:
+        """Materialise and evaluate the top-k ranked paths; keep the best.
+
+        Training uses the *full* base table (sampling only ever affected
+        feature selection) and only the features accepted along each path,
+        plus all base-table features.
+        """
+        started = time.perf_counter()
+        config = self.config
+        base = self.drg.table(discovery.base_table)
+        base_features = [
+            n for n in base.column_names if n != discovery.label_column
+        ]
+
+        trained: list[TrainedPath] = []
+        tables: list[Table] = []
+        for ranked in discovery.top(config.top_k):
+            table, __ = materialize_path(self.drg, ranked.path, base, config.seed)
+            features = base_features + [
+                f for f in ranked.selected_features if f in table
+            ]
+            acc = evaluate_accuracy(
+                table,
+                discovery.label_column,
+                model_name=model_name,
+                feature_names=features,
+                seed=config.seed,
+            )
+            trained.append(
+                TrainedPath(
+                    ranked=ranked, accuracy=acc, n_features_used=len(features)
+                )
+            )
+            tables.append(table)
+
+        best = None
+        augmented = None
+        if trained:
+            best_idx = max(range(len(trained)), key=lambda i: trained[i].accuracy)
+            best = trained[best_idx]
+            keep = (
+                base_features
+                + [f for f in best.ranked.selected_features if f in tables[best_idx]]
+                + [discovery.label_column]
+            )
+            augmented = tables[best_idx].select(keep)
+
+        return AugmentationResult(
+            discovery=discovery,
+            trained=tuple(trained),
+            best=best,
+            augmented_table=augmented,
+            model_name=model_name,
+            total_seconds=discovery.feature_selection_seconds
+            + (time.perf_counter() - started),
+        )
+
+    def augment(
+        self,
+        base_name: str,
+        label_column: str,
+        model_name: str = "lightgbm",
+    ) -> AugmentationResult:
+        """Full pipeline: discover, rank, train top-k, return the best."""
+        discovery = self.discover(base_name, label_column)
+        return self.train_top_k(discovery, model_name=model_name)
+
+
+def autofeat_augment(
+    drg: DatasetRelationGraph,
+    base_name: str,
+    label_column: str,
+    config: AutoFeatConfig | None = None,
+    model_name: str = "lightgbm",
+) -> AugmentationResult:
+    """One-call convenience wrapper around :class:`AutoFeat`."""
+    return AutoFeat(drg, config).augment(base_name, label_column, model_name)

@@ -1,0 +1,133 @@
+"""AutoFeat configuration (the paper's hyper-parameters).
+
+The two headline knobs are τ — the data-quality (completeness) threshold of
+the pruning rule — and κ — the maximum number of features the relevance
+analysis keeps per table.  The paper recommends τ = 0.65 and κ = 15
+(Section VII-B/VII-D); the ablation study of Figure 9 is expressed here via
+``relevance_metric`` / ``redundancy_method`` / ``use_relevance`` /
+``use_redundancy``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+from ..selection.redundancy import REDUNDANCY_METHODS
+from ..selection.relevance import RELEVANCE_METRICS
+
+__all__ = ["AutoFeatConfig"]
+
+
+@dataclass(frozen=True)
+class AutoFeatConfig:
+    """Immutable configuration for one feature-discovery run.
+
+    Attributes
+    ----------
+    tau:
+        Minimum completeness (1 - null ratio) a join must achieve over the
+        columns it contributes; joins below it are pruned.  τ = 1 demands
+        perfect key matches, τ near 0 disables quality pruning.
+    kappa:
+        Maximum number of features kept by the relevance analysis per
+        joined table ("select κ best").
+    min_relevance:
+        Relevance floor below which a feature counts as irrelevant even if
+        it would fit within κ — filters the near-zero correlations that
+        spurious joins produce.
+    top_k:
+        Number of ranked join paths forwarded to model training.
+    max_path_length:
+        Hop budget for the BFS traversal of the DRG.
+    relevance_metric / redundancy_method:
+        Metric names from :mod:`repro.selection`; Spearman + MRMR is the
+        published AutoFeat configuration.
+    use_relevance / use_redundancy:
+        Ablation switches.  Turning a stage off passes every candidate
+        feature straight through it (Figure 9's "Spearman-only" and
+        "MRMR-only" variants).
+    sample_size:
+        Stratified-sample size of the base table used during feature
+        selection (training always sees the full table).
+    traversal:
+        ``"bfs"`` (the paper's choice, Section IV-A) or ``"dfs"`` — kept as
+        a switch for the traversal ablation.
+    seed:
+        Seed for sampling and join-representative choices.
+    """
+
+    tau: float = 0.65
+    kappa: int = 15
+    min_relevance: float = 0.01
+    top_k: int = 4
+    max_path_length: int = 3
+    relevance_metric: str = "spearman"
+    redundancy_method: str = "mrmr"
+    use_relevance: bool = True
+    use_redundancy: bool = True
+    sample_size: int = 1000
+    traversal: str = "bfs"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tau <= 1.0:
+            raise ConfigError(f"tau must be in [0, 1], got {self.tau}")
+        if self.kappa < 1:
+            raise ConfigError(f"kappa must be >= 1, got {self.kappa}")
+        if not 0.0 <= self.min_relevance < 1.0:
+            raise ConfigError(
+                f"min_relevance must be in [0, 1), got {self.min_relevance}"
+            )
+        if self.top_k < 1:
+            raise ConfigError(f"top_k must be >= 1, got {self.top_k}")
+        if self.max_path_length < 1:
+            raise ConfigError(
+                f"max_path_length must be >= 1, got {self.max_path_length}"
+            )
+        if self.sample_size < 10:
+            raise ConfigError(f"sample_size must be >= 10, got {self.sample_size}")
+        if self.traversal not in ("bfs", "dfs"):
+            raise ConfigError(
+                f"traversal must be 'bfs' or 'dfs', got {self.traversal!r}"
+            )
+        valid_relevance = set(RELEVANCE_METRICS) | {"relief"}
+        if self.relevance_metric not in valid_relevance:
+            raise ConfigError(
+                f"unknown relevance metric {self.relevance_metric!r}; "
+                f"expected one of {sorted(valid_relevance)}"
+            )
+        if self.redundancy_method not in REDUNDANCY_METHODS:
+            raise ConfigError(
+                f"unknown redundancy method {self.redundancy_method!r}; "
+                f"expected one of {sorted(REDUNDANCY_METHODS)}"
+            )
+
+    def with_overrides(self, **kwargs) -> "AutoFeatConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **kwargs)
+
+    @staticmethod
+    def ablation(name: str, **kwargs) -> "AutoFeatConfig":
+        """Named ablation configurations from Figure 9.
+
+        ``spearman-mrmr`` (AutoFeat), ``spearman-jmi``, ``pearson-mrmr``,
+        ``pearson-jmi``, ``spearman-only``, ``mrmr-only``.
+        """
+        presets = {
+            "spearman-mrmr": {},
+            "spearman-jmi": {"redundancy_method": "jmi"},
+            "pearson-mrmr": {"relevance_metric": "pearson"},
+            "pearson-jmi": {
+                "relevance_metric": "pearson",
+                "redundancy_method": "jmi",
+            },
+            "spearman-only": {"use_redundancy": False},
+            "mrmr-only": {"use_relevance": False},
+        }
+        if name not in presets:
+            raise ConfigError(
+                f"unknown ablation {name!r}; expected one of {sorted(presets)}"
+            )
+        merged = {**presets[name], **kwargs}
+        return AutoFeatConfig(**merged)

@@ -1,0 +1,47 @@
+"""The two pruning strategies of Section IV-C.
+
+1. **Similarity-score pruning** operates at the join-column level: when a
+   dataset-discovery run proposes several join columns between the same two
+   tables, only the top-scoring one(s) are explored (ties each become their
+   own path).  Exposed through
+   :meth:`repro.graph.DatasetRelationGraph.best_join_options`; the helper
+   here just counts what was discarded for bookkeeping.
+
+2. **Data-quality pruning** operates at the join-result level: a join whose
+   contributed columns are mostly null (completeness below τ) is pruned.
+"""
+
+from __future__ import annotations
+
+from ..dataframe import Table
+from ..graph import DatasetRelationGraph, OrientedEdge
+
+__all__ = ["completeness", "passes_quality", "similarity_pruned_count"]
+
+
+def completeness(joined: Table, contributed_columns: list[str]) -> float:
+    """1 - null ratio over the columns the join contributed."""
+    present = [c for c in contributed_columns if c in joined]
+    if not present:
+        return 0.0
+    return 1.0 - joined.null_ratio(present)
+
+
+def passes_quality(
+    joined: Table, contributed_columns: list[str], tau: float
+) -> bool:
+    """Data-quality pruning rule: keep a join iff completeness >= τ.
+
+    τ = 1 demands a perfect key match (no nulls at all); τ near 0 keeps
+    everything.  The paper recommends τ = 0.65 (Section VII-D).
+    """
+    return completeness(joined, contributed_columns) >= tau
+
+
+def similarity_pruned_count(
+    drg: DatasetRelationGraph, table_a: str, table_b: str
+) -> int:
+    """How many parallel join options similarity pruning discards."""
+    total = len(drg.join_options(table_a, table_b))
+    kept = len(drg.best_join_options(table_a, table_b))
+    return max(0, total - kept)

@@ -1,0 +1,105 @@
+"""Result types produced by feature discovery and augmentation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dataframe import Table
+from ..graph import JoinPath
+
+__all__ = ["RankedPath", "DiscoveryResult", "TrainedPath", "AugmentationResult"]
+
+
+@dataclass(frozen=True)
+class RankedPath:
+    """One scored join path with the features it contributes.
+
+    ``selected_features`` are qualified names (``table.column``) accepted by
+    the relevance+redundancy pipeline along the whole path; the base-table
+    features are implicit (they are always kept).
+    """
+
+    path: JoinPath
+    score: float
+    selected_features: tuple[str, ...]
+    relevance_scores: tuple[float, ...]
+    redundancy_scores: tuple[float, ...]
+    completeness: float
+    #: Names aligned 1:1 with ``relevance_scores`` (the last hop's top-κ
+    #: relevant features, before the redundancy stage).
+    relevant_names: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        features = ", ".join(self.selected_features) or "(no new features)"
+        return f"[{self.score:+.4f}] {self.path.describe()} :: {features}"
+
+
+@dataclass(frozen=True)
+class DiscoveryResult:
+    """Outcome of the ranking phase (before any model is trained)."""
+
+    base_table: str
+    label_column: str
+    ranked_paths: tuple[RankedPath, ...]
+    n_paths_explored: int
+    n_paths_pruned_quality: int
+    n_joins_pruned_similarity: int
+    feature_selection_seconds: float
+
+    def top(self, k: int) -> tuple[RankedPath, ...]:
+        """The ``k`` best-scoring paths."""
+        return self.ranked_paths[:k]
+
+    @property
+    def best_path(self) -> RankedPath | None:
+        return self.ranked_paths[0] if self.ranked_paths else None
+
+
+@dataclass(frozen=True)
+class TrainedPath:
+    """A ranked path after model training on its augmented table."""
+
+    ranked: RankedPath
+    accuracy: float
+    n_features_used: int
+
+
+@dataclass(frozen=True)
+class AugmentationResult:
+    """Final outcome: the best augmented table and full bookkeeping."""
+
+    discovery: DiscoveryResult
+    trained: tuple[TrainedPath, ...]
+    best: TrainedPath | None
+    augmented_table: Table | None
+    model_name: str
+    total_seconds: float
+
+    @property
+    def accuracy(self) -> float:
+        """Best achieved accuracy (0.0 when no path survived)."""
+        return self.best.accuracy if self.best else 0.0
+
+    @property
+    def n_joined_tables(self) -> int:
+        """Number of datasets joined on the winning path."""
+        if self.best is None:
+            return 0
+        return self.best.ranked.path.length
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        lines = [
+            f"base={self.discovery.base_table} label={self.discovery.label_column}",
+            f"explored {self.discovery.n_paths_explored} paths, "
+            f"pruned {self.discovery.n_paths_pruned_quality} on quality, "
+            f"{self.discovery.n_joins_pruned_similarity} join columns on similarity",
+            f"feature selection {self.discovery.feature_selection_seconds:.2f}s, "
+            f"total {self.total_seconds:.2f}s, model {self.model_name}",
+        ]
+        if self.best is not None:
+            lines.append(f"best accuracy {self.best.accuracy:.4f} on path:")
+            lines.append("  " + self.best.ranked.describe())
+        else:
+            lines.append("no path survived pruning; base table unchanged")
+        return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Streaming feature selection (paper Sections V-A and VI).
+
+Features arrive in groups — one group per join — against a fixed set of
+rows.  Each group flows through two stages:
+
+1. **relevance analysis** — score each new feature against the label and
+   keep the top-κ with positive scores;
+2. **redundancy analysis** — score each survivor against the set of
+   *already selected* features (base-table features plus everything
+   accepted on earlier joins) and keep those whose score stays positive.
+
+The selected-feature set persists across the whole traversal, exactly like
+the global ``R_sel`` of Algorithm 1.  Join-column features are exempt from
+elimination because they carry the path (Section V-A); they are simply
+never offered to the selector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SelectionError
+from ..selection.redundancy import redundancy_scores
+from ..selection.select_k_best import select_k_best
+from .config import AutoFeatConfig
+
+__all__ = ["StageOutcome", "StreamingFeatureSelector"]
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """Result of pushing one feature batch through both stages."""
+
+    relevant_names: tuple[str, ...]
+    relevance_scores: tuple[float, ...]
+    accepted_names: tuple[str, ...]
+    redundancy_scores: tuple[float, ...]
+
+    @property
+    def all_irrelevant(self) -> bool:
+        return not self.relevant_names
+
+    @property
+    def all_redundant(self) -> bool:
+        return bool(self.relevant_names) and not self.accepted_names
+
+
+class StreamingFeatureSelector:
+    """Stateful two-stage selector shared by a whole discovery run."""
+
+    def __init__(self, config: AutoFeatConfig, label: np.ndarray):
+        self._config = config
+        label = np.asarray(label, dtype=np.float64)
+        if label.ndim != 1:
+            raise SelectionError("label must be a 1-D vector")
+        self._label = label
+        self._selected_names: list[str] = []
+        self._selected_columns: list[np.ndarray] = []
+
+    @property
+    def selected_names(self) -> list[str]:
+        """Names of every feature accepted so far (insertion order)."""
+        return list(self._selected_names)
+
+    @property
+    def n_selected(self) -> int:
+        return len(self._selected_names)
+
+    def seed_with(self, names: list[str], matrix: np.ndarray) -> None:
+        """Initialise the selected set with the base table's features."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != (len(self._label), len(names)):
+            raise SelectionError(
+                f"seed matrix shape {matrix.shape} does not match "
+                f"{len(self._label)} rows x {len(names)} features"
+            )
+        for i, name in enumerate(names):
+            self._selected_names.append(name)
+            self._selected_columns.append(matrix[:, i])
+
+    def _selected_matrix(self) -> np.ndarray | None:
+        if not self._selected_columns:
+            return None
+        return np.column_stack(self._selected_columns)
+
+    def process_batch(self, names: list[str], matrix: np.ndarray) -> StageOutcome:
+        """Run relevance then redundancy on one batch of new features.
+
+        Features accepted by both stages are added to the persistent
+        selected set.  Returns the per-stage survivors and their scores.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(names):
+            raise SelectionError(
+                f"batch matrix shape {matrix.shape} does not match "
+                f"{len(names)} feature names"
+            )
+        if matrix.shape[0] != len(self._label):
+            raise SelectionError(
+                f"batch has {matrix.shape[0]} rows, label has {len(self._label)}"
+            )
+        if not names:
+            return StageOutcome((), (), (), ())
+
+        config = self._config
+        if config.use_relevance:
+            outcome = select_k_best(
+                matrix,
+                self._label,
+                k=config.kappa,
+                metric=config.relevance_metric,
+                min_score=config.min_relevance,
+                seed=config.seed,
+            )
+            relevant_idx = list(outcome.indices)
+            relevant_scores = list(outcome.scores)
+        else:
+            relevant_idx = list(range(len(names)))[: config.kappa]
+            relevant_scores = [0.0] * len(relevant_idx)
+
+        relevant_names = tuple(names[j] for j in relevant_idx)
+        if not relevant_idx:
+            return StageOutcome((), (), (), ())
+
+        candidate_matrix = matrix[:, relevant_idx]
+        if config.use_redundancy:
+            scores = redundancy_scores(
+                candidate_matrix,
+                self._selected_matrix(),
+                self._label,
+                method=config.redundancy_method,
+            )
+            keep = [i for i, s in enumerate(scores) if s > 0.0]
+            accepted_scores = tuple(float(scores[i]) for i in keep)
+        else:
+            keep = list(range(len(relevant_idx)))
+            accepted_scores = tuple(relevant_scores)
+
+        accepted_names = tuple(relevant_names[i] for i in keep)
+        for i in keep:
+            self._selected_names.append(relevant_names[i])
+            self._selected_columns.append(candidate_matrix[:, i])
+
+        return StageOutcome(
+            relevant_names=relevant_names,
+            relevance_scores=tuple(relevant_scores),
+            accepted_names=accepted_names,
+            redundancy_scores=accepted_scores,
+        )

@@ -1,0 +1,144 @@
+"""A small predicate DSL for row filtering.
+
+``col("age") >= 18`` builds an :class:`Expression` that evaluates to a
+boolean mask against any table; expressions compose with ``&``, ``|`` and
+``~``.  Null semantics follow SQL's three-valued logic collapsed to
+two-valued masks: a comparison against a null cell is False (the row is
+filtered out), and only ``is_null`` / ``not_null`` select on missingness.
+
+Example::
+
+    adults = table.where((col("age") >= 18) & col("country").isin(["NL", "DE"]))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from .table import Table
+
+__all__ = ["Expression", "col", "where"]
+
+
+class Expression:
+    """A deferred boolean predicate over table rows."""
+
+    def __init__(self, evaluate: Callable[[Table], np.ndarray], description: str):
+        self._evaluate = evaluate
+        self._description = description
+
+    def mask(self, table: Table) -> np.ndarray:
+        """Evaluate to a boolean row mask for ``table``."""
+        out = self._evaluate(table)
+        if out.dtype != np.bool_ or out.shape != (table.n_rows,):
+            raise SchemaError(
+                f"expression {self._description!r} did not produce a row mask"
+            )
+        return out
+
+    def __and__(self, other: "Expression") -> "Expression":
+        return Expression(
+            lambda t: self.mask(t) & other.mask(t),
+            f"({self._description} AND {other._description})",
+        )
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return Expression(
+            lambda t: self.mask(t) | other.mask(t),
+            f"({self._description} OR {other._description})",
+        )
+
+    def __invert__(self) -> "Expression":
+        return Expression(
+            lambda t: ~self.mask(t), f"(NOT {self._description})"
+        )
+
+    def __repr__(self) -> str:
+        return f"Expression<{self._description}>"
+
+
+class _ColumnRef:
+    """A named column inside a predicate; comparison operators build
+    :class:`Expression` objects."""
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def _compare(self, op: Callable[[Any, Any], bool], symbol: str, value: Any):
+        name = self._name
+
+        def evaluate(table: Table) -> np.ndarray:
+            column = table.column(name)
+            out = np.zeros(len(column), dtype=bool)
+            for i, cell in enumerate(column):
+                if cell is None:
+                    continue  # SQL-style: comparisons with null are false
+                try:
+                    out[i] = bool(op(cell, value))
+                except TypeError:
+                    out[i] = False
+            return out
+
+        return Expression(evaluate, f"{name} {symbol} {value!r}")
+
+    def __eq__(self, value: Any) -> Expression:  # type: ignore[override]
+        return self._compare(lambda a, b: a == b, "==", value)
+
+    def __ne__(self, value: Any) -> Expression:  # type: ignore[override]
+        return self._compare(lambda a, b: a != b, "!=", value)
+
+    def __lt__(self, value: Any) -> Expression:
+        return self._compare(lambda a, b: a < b, "<", value)
+
+    def __le__(self, value: Any) -> Expression:
+        return self._compare(lambda a, b: a <= b, "<=", value)
+
+    def __gt__(self, value: Any) -> Expression:
+        return self._compare(lambda a, b: a > b, ">", value)
+
+    def __ge__(self, value: Any) -> Expression:
+        return self._compare(lambda a, b: a >= b, ">=", value)
+
+    def isin(self, values: Iterable[Any]) -> Expression:
+        """Membership test against a collection of non-null values."""
+        allowed = set(values)
+        name = self._name
+
+        def evaluate(table: Table) -> np.ndarray:
+            column = table.column(name)
+            return np.asarray(
+                [cell is not None and cell in allowed for cell in column],
+                dtype=bool,
+            )
+
+        return Expression(evaluate, f"{name} IN {sorted(map(str, allowed))}")
+
+    def between(self, low: Any, high: Any) -> Expression:
+        """Inclusive range test."""
+        return (self >= low) & (self <= high)
+
+    def is_null(self) -> Expression:
+        """True where the cell is missing."""
+        name = self._name
+        return Expression(
+            lambda t: t.column(name).mask.copy(), f"{name} IS NULL"
+        )
+
+    def not_null(self) -> Expression:
+        """True where the cell is present."""
+        return ~self.is_null()
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+def col(name: str) -> _ColumnRef:
+    """Reference a column by name inside a predicate."""
+    return _ColumnRef(name)
+
+
+def where(table: Table, expression: Expression) -> Table:
+    """Filter ``table`` to the rows where ``expression`` holds."""
+    return table.filter(expression.mask(table))

@@ -1,0 +1,101 @@
+"""Grouping and aggregation over tables.
+
+Only the small aggregate vocabulary the library needs: group sizes, per-group
+means and first rows.  The join de-duplication logic lives in
+:mod:`repro.dataframe.join`; this module serves profiling (value histograms
+for the discovery matchers) and the dataset generators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import SchemaError
+from .column import Column, DType
+from .table import Table
+
+__all__ = ["group_indices", "group_sizes", "aggregate"]
+
+_NUMERIC_AGGREGATES: dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda a: float(np.mean(a)),
+    "sum": lambda a: float(np.sum(a)),
+    "min": lambda a: float(np.min(a)),
+    "max": lambda a: float(np.max(a)),
+    "std": lambda a: float(np.std(a)),
+}
+
+
+def group_indices(table: Table, key_column: str) -> dict[Any, np.ndarray]:
+    """Map each distinct non-null key value to its row positions."""
+    groups: dict[Any, list[int]] = {}
+    for i, value in enumerate(table.column(key_column)):
+        if value is None:
+            continue
+        groups.setdefault(value, []).append(i)
+    return {k: np.asarray(v, dtype=np.int64) for k, v in groups.items()}
+
+
+def group_sizes(table: Table, key_column: str) -> dict[Any, int]:
+    """Number of rows per distinct non-null key value."""
+    return {k: len(v) for k, v in group_indices(table, key_column).items()}
+
+
+def aggregate(
+    table: Table,
+    key_column: str,
+    aggregations: dict[str, str],
+) -> Table:
+    """Group by ``key_column`` and aggregate the named columns.
+
+    ``aggregations`` maps column name to one of ``mean``/``sum``/``min``/
+    ``max``/``std``/``count``/``first``.  The result has one row per group,
+    keyed by a column named after ``key_column``, with groups in sorted key
+    order for determinism.
+    """
+    groups = group_indices(table, key_column)
+    keys = sorted(groups.keys(), key=lambda k: (str(type(k)), str(k)))
+    out: dict[str, list[Any]] = {key_column: list(keys)}
+    for col_name, how in aggregations.items():
+        source = table.column(col_name)
+        results: list[Any] = []
+        for key in keys:
+            idx = groups[key]
+            if how == "count":
+                results.append(int(len(idx)))
+                continue
+            if how == "first":
+                results.append(source[int(idx[0])])
+                continue
+            if how not in _NUMERIC_AGGREGATES:
+                raise SchemaError(f"unknown aggregate {how!r} for column {col_name!r}")
+            values = source.to_float()[idx]
+            values = values[~np.isnan(values)]
+            results.append(_NUMERIC_AGGREGATES[how](values) if len(values) else None)
+        out_name = col_name if col_name != key_column else f"{col_name}_{how}"
+        out[out_name] = results
+    columns: dict[str, Column] = {}
+    for name, values in out.items():
+        if name == key_column:
+            columns[name] = Column(values, dtype=table.column(key_column).dtype)
+        else:
+            columns[name] = Column(values)
+    return Table(columns, name=table.name)
+
+
+def distinct_count(column: Column) -> int:
+    """Number of distinct non-null values in a column."""
+    return len(column.unique())
+
+
+def uniqueness(column: Column) -> float:
+    """Distinct non-null values over non-null count (key-ness score).
+
+    1.0 means the column is a candidate primary key; values near 0 indicate
+    a heavily repeated (categorical/foreign-key-like) column.
+    """
+    n = len(column) - column.null_count()
+    if n == 0:
+        return 0.0
+    return distinct_count(column) / n

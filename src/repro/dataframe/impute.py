@@ -1,0 +1,104 @@
+"""Null imputation strategies.
+
+The paper handles missing values "by imputation with the most common value
+corresponding to the feature" (Section V-B) and discusses mean/median/mode
+imputation as alternatives to deletion (Section IV-C).  All strategies here
+return new tables; the originals are untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SchemaError
+from .column import Column, DType
+from .table import Table
+
+__all__ = [
+    "impute_most_frequent",
+    "impute_mean",
+    "impute_median",
+    "impute_constant",
+    "impute_table",
+]
+
+
+def impute_most_frequent(column: Column) -> Column:
+    """Replace nulls with the column's mode.
+
+    An entirely-null column is returned unchanged (there is nothing to
+    learn a fill value from); callers that cannot tolerate residual nulls
+    should follow up with :func:`impute_constant`.
+    """
+    if not column.has_nulls():
+        return column
+    fill = column.mode()
+    if fill is None:
+        return column
+    return column.fill_nulls(fill)
+
+
+def impute_mean(column: Column) -> Column:
+    """Replace nulls with the mean of the present values (numeric only)."""
+    if not column.dtype.is_numeric:
+        raise SchemaError(f"mean imputation needs a numeric column, got {column.dtype}")
+    if not column.has_nulls():
+        return column
+    present = column.non_null_values().astype(np.float64)
+    if len(present) == 0:
+        return column
+    fill = float(np.mean(present))
+    if column.dtype in (DType.INT, DType.BOOL):
+        fill = round(fill)
+    return column.fill_nulls(fill)
+
+
+def impute_median(column: Column) -> Column:
+    """Replace nulls with the median of the present values (numeric only)."""
+    if not column.dtype.is_numeric:
+        raise SchemaError(
+            f"median imputation needs a numeric column, got {column.dtype}"
+        )
+    if not column.has_nulls():
+        return column
+    present = column.non_null_values().astype(np.float64)
+    if len(present) == 0:
+        return column
+    fill = float(np.median(present))
+    if column.dtype in (DType.INT, DType.BOOL):
+        fill = round(fill)
+    return column.fill_nulls(fill)
+
+
+def impute_constant(column: Column, value: object) -> Column:
+    """Replace nulls with a caller-supplied default value."""
+    return column.fill_nulls(value)
+
+
+_STRATEGIES = {
+    "most_frequent": impute_most_frequent,
+    "mean": impute_mean,
+    "median": impute_median,
+}
+
+
+def impute_table(table: Table, strategy: str = "most_frequent") -> Table:
+    """Impute every column of a table with the named strategy.
+
+    ``mean``/``median`` silently fall back to ``most_frequent`` on string
+    columns, matching the usual mixed-type preprocessing behaviour.
+    """
+    if strategy not in _STRATEGIES:
+        raise SchemaError(
+            f"unknown imputation strategy {strategy!r}; "
+            f"expected one of {sorted(_STRATEGIES)}"
+        )
+    impute = _STRATEGIES[strategy]
+    out = {}
+    for name in table.column_names:
+        column = table.column(name)
+        if strategy != "most_frequent" and not column.dtype.is_numeric:
+            out[name] = impute_most_frequent(column)
+        else:
+            out[name] = impute(column)
+    return Table(out, name=table.name)

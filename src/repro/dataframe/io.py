@@ -1,0 +1,85 @@
+"""CSV serialisation for tables.
+
+A small, dependency-free reader/writer so lakes can be persisted to disk and
+the examples can ship data files.  Types are inferred per column: int, then
+float, then bool, falling back to string.  Empty fields are nulls.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from pathlib import Path
+from typing import Any
+
+from ..errors import SchemaError
+from .column import Column, DType
+from .table import Table
+
+__all__ = ["read_csv", "write_csv", "from_csv_text", "to_csv_text"]
+
+_BOOL_TOKENS = {"true": True, "false": False, "True": True, "False": False}
+
+
+def _parse_cell(text: str) -> Any:
+    if text == "":
+        return None
+    if text in _BOOL_TOKENS:
+        return _BOOL_TOKENS[text]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def from_csv_text(text: str, name: str = "") -> Table:
+    """Parse CSV text (first row = header) into a :class:`Table`."""
+    reader = csv.reader(_io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        raise SchemaError("CSV input has no header row")
+    header = rows[0]
+    if len(set(header)) != len(header):
+        raise SchemaError(f"duplicate column names in CSV header: {header}")
+    parsed = [[_parse_cell(cell) for cell in row] for row in rows[1:]]
+    return Table.from_rows(header, parsed, name=name)
+
+
+def read_csv(path: str | Path, name: str = "") -> Table:
+    """Read a CSV file into a :class:`Table`; table name defaults to stem."""
+    path = Path(path)
+    with open(path, newline="") as handle:
+        text = handle.read()
+    return from_csv_text(text, name=name or path.stem)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def to_csv_text(table: Table) -> str:
+    """Serialise a table to CSV text (header + rows, '' for nulls)."""
+    buffer = _io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(table.column_names)
+    columns = [table.column(n) for n in table.column_names]
+    for i in range(table.n_rows):
+        writer.writerow([_format_cell(col[i]) for col in columns])
+    return buffer.getvalue()
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to a CSV file."""
+    with open(Path(path), "w", newline="") as handle:
+        handle.write(to_csv_text(table))

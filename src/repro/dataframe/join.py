@@ -1,0 +1,207 @@
+"""Left joins with cardinality control.
+
+AutoFeat only ever performs *left* joins so that the base table keeps its
+row count and label distribution (paper Section IV-B).  To guarantee this
+even for 1:N and N:M joins, the right-hand side is first reduced to one
+representative row per join-key value ("group by the join column and
+randomly select a row", ARDA-style).  We make the random choice
+deterministic: the representative is picked with a seeded RNG keyed on the
+join-key value, so repeated runs — and the path ranking that depends on
+them — are reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+import numpy as np
+
+from ..errors import JoinError
+from .column import Column, DType
+from .table import Table
+
+__all__ = ["left_join", "inner_join", "dedup_by_key", "join_key_null_ratio"]
+
+
+def _key_of(value: Any) -> Any:
+    """Normalise a join-key value so that 1 and 1.0 compare equal."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def _representative_index(indices: list[int], key: Any, seed: int) -> int:
+    """Deterministically pick one row index from a join-key group.
+
+    A per-key RNG is derived from a CRC of the key and the global seed, so
+    the pick is stable across runs and independent of dict iteration order.
+    """
+    if len(indices) == 1:
+        return indices[0]
+    digest = zlib.crc32(repr(key).encode("utf-8"))
+    rng = np.random.default_rng((seed * 0x9E3779B1 + digest) & 0xFFFFFFFF)
+    return indices[int(rng.integers(len(indices)))]
+
+
+def dedup_by_key(table: Table, key_column: str, seed: int = 0) -> Table:
+    """Reduce ``table`` to one representative row per value of ``key_column``.
+
+    Rows whose key is null are dropped — they can never match a left join
+    probe.  The representative within each group is chosen deterministically
+    (see :func:`_representative_index`).
+    """
+    column = table.column(key_column)
+    groups: dict[Any, list[int]] = {}
+    for i, value in enumerate(column):
+        if value is None:
+            continue
+        groups.setdefault(_key_of(value), []).append(i)
+    picks = sorted(
+        _representative_index(indices, key, seed) for key, indices in groups.items()
+    )
+    return table.take(np.asarray(picks, dtype=np.int64))
+
+
+def left_join(
+    left: Table,
+    right: Table,
+    left_on: str,
+    right_on: str,
+    seed: int = 0,
+    deduplicate: bool = True,
+    drop_right_key: bool = False,
+) -> Table:
+    """Left join preserving the left table's row count exactly.
+
+    Parameters
+    ----------
+    left, right:
+        The probe and build tables.
+    left_on, right_on:
+        Join column names in each table.
+    seed:
+        Seed for the deterministic representative-row choice in
+        :func:`dedup_by_key`.
+    deduplicate:
+        When True (the default, and AutoFeat's behaviour) the right table is
+        first reduced to one row per key so the join is at most 1:1 and the
+        left row count is preserved.  When False, a duplicate key on the
+        right would violate row-count preservation, so a multi-match raises
+        :class:`JoinError`.
+    drop_right_key:
+        Drop the right join column from the output (it duplicates the left
+        key on every matched row).
+
+    Returns
+    -------
+    Table
+        All columns of ``left`` followed by the columns of ``right``
+        (minus the key if ``drop_right_key``).  Right columns whose name
+        collides with a left column are suffixed with ``"_r"``.
+        Unmatched probe rows carry nulls in every right column.
+    """
+    if left_on not in left:
+        raise JoinError(f"left table {left.name!r} has no join column {left_on!r}")
+    if right_on not in right:
+        raise JoinError(f"right table {right.name!r} has no join column {right_on!r}")
+
+    build = dedup_by_key(right, right_on, seed=seed) if deduplicate else right
+
+    index: dict[Any, int] = {}
+    for i, value in enumerate(build.column(right_on)):
+        if value is None:
+            continue
+        key = _key_of(value)
+        if key in index:
+            raise JoinError(
+                f"duplicate join key {value!r} in {right.name!r} with "
+                "deduplicate=False; a left join would duplicate probe rows"
+            )
+        index[key] = i
+
+    n = left.n_rows
+    gather = np.full(n, -1, dtype=np.int64)
+    for i, value in enumerate(left.column(left_on)):
+        if value is None:
+            continue
+        gather[i] = index.get(_key_of(value), -1)
+
+    matched = gather >= 0
+    safe_gather = np.where(matched, gather, 0)
+
+    out: dict[str, Column] = {name: left.column(name) for name in left.column_names}
+    for name in build.column_names:
+        if drop_right_key and name == right_on:
+            continue
+        out_name = name
+        while out_name in out:
+            out_name = f"{out_name}_r"
+        source = build.column(name)
+        if build.n_rows == 0:
+            out[out_name] = Column.nulls(n, dtype=source.dtype)
+            continue
+        taken = source.take(safe_gather)
+        mask = taken.mask | ~matched
+        if source.dtype is DType.STRING:
+            values = taken.values.copy()
+            values[~matched] = None
+        else:
+            values = taken.values.copy()
+        out[out_name] = Column(values, dtype=source.dtype, mask=mask)
+    return Table(out, name=left.name)
+
+
+def inner_join(
+    left: Table,
+    right: Table,
+    left_on: str,
+    right_on: str,
+    seed: int = 0,
+    deduplicate: bool = True,
+    drop_right_key: bool = False,
+) -> Table:
+    """Inner join: like :func:`left_join` but unmatched probe rows are cut.
+
+    AutoFeat never uses this — Section IV-B argues that dropping rows
+    skews the label distribution — but the engine provides it so the
+    join-type ablation can *demonstrate* that skew rather than assert it.
+    """
+    joined = left_join(
+        left,
+        right,
+        left_on,
+        right_on,
+        seed=seed,
+        deduplicate=deduplicate,
+        drop_right_key=drop_right_key,
+    )
+    build = dedup_by_key(right, right_on, seed=seed) if deduplicate else right
+    present = {
+        _key_of(v) for v in build.column(right_on) if v is not None
+    }
+    keep = np.asarray(
+        [
+            value is not None and _key_of(value) in present
+            for value in left.column(left_on)
+        ],
+        dtype=bool,
+    )
+    return joined.filter(keep)
+
+
+def join_key_null_ratio(joined: Table, right_columns: list[str]) -> float:
+    """Null ratio over the columns a join contributed.
+
+    This is the completeness statistic fed to AutoFeat's data-quality
+    pruning: a join that failed to match most probe rows leaves its entire
+    right-hand side null, and should be pruned.
+    """
+    present = [c for c in right_columns if c in joined]
+    if not present:
+        raise JoinError("none of the contributed columns exist in the join result")
+    return joined.null_ratio(present)

@@ -1,0 +1,96 @@
+"""Row sampling, including the stratified sampling AutoFeat applies.
+
+The paper samples the base table with *stratified* sampling before feature
+selection so the class ratio in the sample matches the full table; model
+training still happens on the full data (Section VI, "From Ranked Paths to
+Training ML Models").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SchemaError
+from .table import Table
+
+__all__ = ["random_sample", "stratified_sample", "train_test_split_indices"]
+
+
+def random_sample(table: Table, n: int, seed: int = 0) -> Table:
+    """Uniform sample of ``min(n, n_rows)`` rows without replacement."""
+    if n < 0:
+        raise SchemaError(f"sample size must be non-negative, got {n}")
+    n = min(n, table.n_rows)
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(table.n_rows, size=n, replace=False)
+    return table.take(np.sort(idx))
+
+
+def stratified_sample(
+    table: Table,
+    label_column: str,
+    n: int,
+    seed: int = 0,
+) -> Table:
+    """Sample ``n`` rows preserving the label distribution.
+
+    Each class contributes ``round(n * class_fraction)`` rows (at least one
+    row per class that exists, so rare classes are never lost).  Rows whose
+    label is null are excluded from the sample.
+    """
+    if n <= 0:
+        raise SchemaError(f"sample size must be positive, got {n}")
+    if n >= table.n_rows:
+        return table
+    labels = table.column(label_column)
+    by_class: dict[object, list[int]] = {}
+    for i, value in enumerate(labels):
+        if value is None:
+            continue
+        by_class.setdefault(value, []).append(i)
+    if not by_class:
+        raise SchemaError(f"label column {label_column!r} is entirely null")
+
+    total = sum(len(v) for v in by_class.values())
+    rng = np.random.default_rng(seed)
+    chosen: list[int] = []
+    for cls in sorted(by_class.keys(), key=str):
+        members = by_class[cls]
+        quota = max(1, round(n * len(members) / total))
+        quota = min(quota, len(members))
+        picks = rng.choice(len(members), size=quota, replace=False)
+        chosen.extend(members[p] for p in picks)
+    return table.take(np.sort(np.asarray(chosen, dtype=np.int64)))
+
+
+def train_test_split_indices(
+    n_rows: int,
+    labels: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stratified train/test index split (80/20 in the paper).
+
+    Returns ``(train_idx, test_idx)``.  Stratification is per class; every
+    class with at least two members contributes at least one test row.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise SchemaError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    train: list[int] = []
+    test: list[int] = []
+    classes = np.unique(labels)
+    for cls in classes:
+        members = np.flatnonzero(labels == cls)
+        rng.shuffle(members)
+        n_test = int(round(len(members) * test_fraction))
+        if len(members) >= 2:
+            n_test = max(1, min(n_test, len(members) - 1))
+        else:
+            n_test = 0
+        test.extend(members[:n_test].tolist())
+        train.extend(members[n_test:].tolist())
+    return (
+        np.sort(np.asarray(train, dtype=np.int64)),
+        np.sort(np.asarray(test, dtype=np.int64)),
+    )

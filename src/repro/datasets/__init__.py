@@ -1,0 +1,40 @@
+"""Synthetic evaluation lakes: planted-signal twins of the Table II datasets."""
+
+from .generators import FlatDataset, make_classification
+from .lake import DEFAULT_LAKE_THRESHOLD, benchmark_drg, datalake_drg, rename_for_lake
+from .persistence import MANIFEST_NAME, load_lake, load_lake_tables, save_lake
+from .registry import DATASETS, DatasetSpec, build_all, build_dataset, dataset_names
+from .splitter import (
+    BASE_ID,
+    LABEL_COLUMN,
+    LakeBundle,
+    SplitPlan,
+    key_column_name,
+    ref_column_name,
+    split_into_lake,
+)
+
+__all__ = [
+    "FlatDataset",
+    "make_classification",
+    "SplitPlan",
+    "LakeBundle",
+    "split_into_lake",
+    "key_column_name",
+    "ref_column_name",
+    "LABEL_COLUMN",
+    "BASE_ID",
+    "benchmark_drg",
+    "datalake_drg",
+    "rename_for_lake",
+    "DEFAULT_LAKE_THRESHOLD",
+    "save_lake",
+    "load_lake",
+    "load_lake_tables",
+    "MANIFEST_NAME",
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "build_dataset",
+    "build_all",
+]

@@ -1,0 +1,126 @@
+"""On-disk persistence for lakes: CSV tables plus a JSON manifest.
+
+A saved lake is a directory of one CSV per table and a ``manifest.json``
+recording the base table, label column, declared KFK constraints and the
+generation metadata — enough to reload the exact benchmark setting, or to
+ignore the constraints and re-discover them (the data-lake setting).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..dataframe import DType, Table, read_csv, write_csv
+from ..errors import DatasetError
+from ..graph import DatasetRelationGraph, KFKConstraint
+from .splitter import LakeBundle
+
+__all__ = ["save_lake", "load_lake", "load_lake_tables", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.json"
+_MANIFEST_VERSION = 1
+
+
+def save_lake(bundle: LakeBundle, directory: str | Path) -> Path:
+    """Write every table as CSV plus the manifest; returns the directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for table in bundle.tables:
+        write_csv(table, directory / f"{table.name}.csv")
+    manifest = {
+        "version": _MANIFEST_VERSION,
+        "name": bundle.name,
+        "base_table": bundle.base_name,
+        "label_column": bundle.label_column,
+        "tables": [table.name for table in bundle.tables],
+        "dtypes": {
+            table.name: {
+                column: dtype.value for column, dtype in table.dtypes().items()
+            }
+            for table in bundle.tables
+        },
+        "constraints": [
+            {
+                "table_a": c.table_a,
+                "column_a": c.column_a,
+                "table_b": c.table_b,
+                "column_b": c.column_b,
+            }
+            for c in bundle.constraints
+        ],
+        "depths": bundle.depths,
+        "feature_placement": bundle.feature_placement,
+    }
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def _read_manifest(directory: Path) -> dict:
+    path = directory / MANIFEST_NAME
+    if not path.exists():
+        raise DatasetError(f"no {MANIFEST_NAME} in {directory}")
+    try:
+        manifest = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"corrupt manifest in {directory}: {exc}") from exc
+    if manifest.get("version") != _MANIFEST_VERSION:
+        raise DatasetError(
+            f"unsupported manifest version {manifest.get('version')!r}"
+        )
+    return manifest
+
+
+def load_lake(directory: str | Path) -> LakeBundle:
+    """Reload a saved lake into a :class:`LakeBundle`."""
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    tables = []
+    dtype_map = manifest.get("dtypes", {})
+    for name in manifest["tables"]:
+        csv_path = directory / f"{name}.csv"
+        if not csv_path.exists():
+            raise DatasetError(f"manifest lists {name!r} but {csv_path} is missing")
+        table = read_csv(csv_path, name=name)
+        # CSV is dtype-lossy (whole floats read back as ints); restore the
+        # recorded logical dtypes so a load is byte-for-byte faithful.
+        for column, dtype_value in dtype_map.get(name, {}).items():
+            wanted = DType(dtype_value)
+            if column in table and table.column(column).dtype is not wanted:
+                table = table.with_column(
+                    column,
+                    table.column(column).rename_nulls_preserved_cast(wanted),
+                )
+        tables.append(table)
+    constraints = tuple(
+        KFKConstraint(
+            table_a=c["table_a"],
+            column_a=c["column_a"],
+            table_b=c["table_b"],
+            column_b=c["column_b"],
+        )
+        for c in manifest["constraints"]
+    )
+    return LakeBundle(
+        name=manifest["name"],
+        base_name=manifest["base_table"],
+        label_column=manifest["label_column"],
+        tables=tuple(tables),
+        constraints=constraints,
+        depths={k: int(v) for k, v in manifest["depths"].items()},
+        feature_placement=dict(manifest.get("feature_placement", {})),
+    )
+
+
+def load_lake_tables(directory: str | Path) -> list[Table]:
+    """Load only the CSV tables (cold-start mode: constraints ignored).
+
+    This is what a discovery-first workflow uses: read the files, then
+    build the DRG with a matcher instead of the manifest's constraints.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    return [
+        read_csv(directory / f"{name}.csv", name=name)
+        for name in manifest["tables"]
+    ]

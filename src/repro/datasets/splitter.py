@@ -1,0 +1,292 @@
+"""Splitting a flat dataset into a snowflake of joinable tables.
+
+This reproduces the paper's *benchmark setting* construction: "a technique
+to divide a dataset into multiple small tables with known KFK constraints
+... which resembles a snowflake schemata" (Section VII-A).  The base table
+keeps the label and the *weakest* features; stronger features are pushed
+into satellite tables, deepest-first, so that finding them requires the
+transitive joins AutoFeat is built for.
+
+Key mechanics:
+
+* every parent-child edge gets its own key domain — a seeded permutation
+  of the row index shared by both sides — so joins are exactly 1:1 where
+  rows exist on both sides;
+* satellites are row-subsampled by a per-table ``match_rate``, producing
+  genuine nulls after a left join (the raw material of τ-pruning);
+* in the benchmark naming scheme both sides of an edge carry the *same*
+  key column name (``<child>_key``) — the convention MAB depends on; the
+  lake builder renames the parent side to ``<child>_ref`` to break it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dataframe import Column, Table
+from ..errors import DatasetError
+from ..graph import DatasetRelationGraph, KFKConstraint
+from .generators import FlatDataset
+
+__all__ = ["SplitPlan", "LakeBundle", "split_into_lake", "key_column_name", "ref_column_name"]
+
+LABEL_COLUMN = "label"
+BASE_ID = "base_id"
+
+
+def key_column_name(child_table: str) -> str:
+    """Key column name used on the child (and, in benchmark, parent) side."""
+    return f"{child_table}_key"
+
+
+def ref_column_name(child_table: str) -> str:
+    """Parent-side key name in the data-lake (renamed) scheme."""
+    return f"{child_table}_ref"
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """How a flat dataset is carved into a snowflake."""
+
+    name: str
+    n_satellites: int
+    n_base_features: int
+    max_depth: int = 2
+    deep_signal: bool = True
+    match_rate_range: tuple[float, float] = (0.8, 1.0)
+    n_shared_categories: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_satellites < 1:
+            raise DatasetError("need at least one satellite table")
+        if self.n_base_features < 1:
+            raise DatasetError("base table needs at least one feature")
+        if self.max_depth < 1:
+            raise DatasetError("max_depth must be >= 1")
+        lo, hi = self.match_rate_range
+        if not 0.0 < lo <= hi <= 1.0:
+            raise DatasetError(f"invalid match_rate_range {self.match_rate_range}")
+
+
+@dataclass(frozen=True)
+class LakeBundle:
+    """A split dataset: tables, constraints and ground truth."""
+
+    name: str
+    base_name: str
+    label_column: str
+    tables: tuple[Table, ...]
+    constraints: tuple[KFKConstraint, ...]
+    depths: dict[str, int]
+    feature_placement: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def base_table(self) -> Table:
+        for table in self.tables:
+            if table.name == self.base_name:
+                return table
+        raise DatasetError(f"bundle has no base table {self.base_name!r}")
+
+    @property
+    def n_tables(self) -> int:
+        return len(self.tables)
+
+    @property
+    def total_features(self) -> int:
+        """Feature columns across all tables (keys and label excluded)."""
+        keys = {c.column_a for c in self.constraints} | {
+            c.column_b for c in self.constraints
+        }
+        total = 0
+        for table in self.tables:
+            for name in table.column_names:
+                if name in keys or name in (self.label_column, BASE_ID):
+                    continue
+                total += 1
+        return total
+
+    def benchmark_drg(self) -> DatasetRelationGraph:
+        """DRG of the benchmark setting: KFK edges only, weight 1."""
+        return DatasetRelationGraph.from_constraints(
+            list(self.tables), list(self.constraints)
+        )
+
+
+def _signal_spine(topology: dict[str, tuple[str, int]]) -> set[str]:
+    """The deepest root-to-leaf chain of satellites (ties: first by name)."""
+    if not topology:
+        return set()
+    deepest = min(
+        topology, key=lambda s: (-topology[s][1], s)
+    )
+    spine = {deepest}
+    parent = topology[deepest][0]
+    while parent != "__base__":
+        spine.add(parent)
+        parent = topology[parent][0]
+    return spine
+
+
+def _topology(plan: SplitPlan, rng: np.random.Generator) -> dict[str, tuple[str, int]]:
+    """Assign each satellite a parent and depth (snowflake tree)."""
+    names = [f"{plan.name}_t{i:02d}" for i in range(plan.n_satellites)]
+    parents: dict[str, tuple[str, int]] = {}
+    n_level1 = max(1, int(np.ceil(plan.n_satellites * 0.5)))
+    attachable: list[tuple[str, int]] = []
+    for i, child in enumerate(names):
+        if i < n_level1 or not attachable:
+            parents[child] = ("__base__", 1)
+        else:
+            pick_pool = [a for a in attachable if a[1] < plan.max_depth]
+            if not pick_pool:
+                parents[child] = ("__base__", 1)
+            else:
+                parent, depth = pick_pool[int(rng.integers(len(pick_pool)))]
+                parents[child] = (parent, depth + 1)
+        attachable.append((child, parents[child][1]))
+    return parents
+
+
+def split_into_lake(flat: FlatDataset, plan: SplitPlan) -> LakeBundle:
+    """Carve ``flat`` into a base table plus snowflake satellites."""
+    if plan.n_base_features >= flat.n_features:
+        raise DatasetError(
+            f"base would swallow all {flat.n_features} features; "
+            "reduce n_base_features"
+        )
+    rng = np.random.default_rng(plan.seed)
+    n = flat.n_rows
+    base_name = f"{plan.name}_base"
+
+    weakest_first = list(flat.relevance_order)
+    base_features = weakest_first[: plan.n_base_features]
+    remaining = weakest_first[plan.n_base_features :]
+
+    topology = _topology(plan, rng)
+    satellites = list(topology.keys())
+    spine = _signal_spine(topology)
+    # Feature placement order: non-spine tables first (shallow to deep),
+    # then the spine tables shallow to deep.  Features are dealt in
+    # weakest-first order, so the strongest signal accumulates *along* the
+    # deepest chain — one transitive join path can collect it all, which is
+    # the regime the paper's evaluation probes.
+    by_depth = sorted(
+        satellites, key=lambda s: (s in spine, topology[s][1], s)
+    )
+    if not plan.deep_signal:
+        rng.shuffle(by_depth)
+
+    # Deal strongest-first to the deepest tables (spine first within a
+    # depth), so the signal lives behind transitive joins and shallow
+    # (star-schema-reachable) tables hold the weak remainder.
+    dealing_order = sorted(
+        satellites, key=lambda s: (-topology[s][1], s not in spine, s)
+    )
+    if not plan.deep_signal:
+        dealing_order = list(by_depth)
+    assignment: dict[str, list[str]] = {s: [] for s in satellites}
+    quota = int(np.ceil(len(remaining) / len(satellites)))
+    strongest_first = remaining[::-1]
+    cursor = 0
+    for satellite in dealing_order:
+        take = strongest_first[cursor : cursor + quota]
+        assignment[satellite] = list(take)
+        cursor += len(take)
+    if cursor < len(strongest_first):
+        assignment[dealing_order[-1]].extend(strongest_first[cursor:])
+
+    # Per-edge key domains: a seeded permutation shared by parent and child.
+    # Domains are disjoint across satellites (distinct offsets) so that a
+    # value-overlap matcher sees true key pairs at overlap 1.0 and unrelated
+    # key pairs at overlap 0 — without this, every key column would match
+    # every other and the lake graph would be pure noise.
+    key_values: dict[str, np.ndarray] = {
+        s: rng.permutation(n) + 1000 + (i + 1) * 10 * n
+        for i, s in enumerate(satellites)
+    }
+
+    columns_of: dict[str, dict[str, np.ndarray | Column]] = {
+        base_name: {BASE_ID: np.arange(n)}
+    }
+    for satellite in satellites:
+        columns_of[satellite] = {key_column_name(satellite): key_values[satellite]}
+
+    for satellite in satellites:
+        parent, __ = topology[satellite]
+        parent_name = base_name if parent == "__base__" else parent
+        columns_of[parent_name][key_column_name(satellite)] = key_values[satellite]
+
+    for feature in base_features:
+        columns_of[base_name][feature] = flat.features[feature]
+    placement = {feature: base_name for feature in base_features}
+    for satellite, features in assignment.items():
+        for feature in features:
+            columns_of[satellite][feature] = flat.features[feature]
+            placement[feature] = satellite
+
+    # Shared low-cardinality category columns: same name, *partially*
+    # overlapping value domains, independent values — spurious-edge bait for
+    # lake discovery.  Partial overlap keeps the spurious score real but
+    # below a true key match, so similarity pruning faces a genuine contest
+    # rather than a foregone conclusion.
+    shared_targets = by_depth[: plan.n_shared_categories]
+    for idx, target in enumerate(shared_targets):
+        offset = 4 * ((idx % 3) + 1)
+        columns_of[target]["region"] = rng.integers(
+            offset, offset + 8, size=n
+        ).astype(np.float64)
+        if idx % 2 == 1:
+            columns_of[target]["status"] = rng.integers(0, 5, size=n).astype(
+                np.float64
+            )
+    if shared_targets:
+        columns_of[base_name]["region"] = rng.integers(0, 8, size=n).astype(
+            np.float64
+        )
+
+    columns_of[base_name][LABEL_COLUMN] = flat.label
+
+    tables: list[Table] = [Table(columns_of[base_name], name=base_name)]
+    lo, hi = plan.match_rate_range
+    # The signal spine keeps perfect key coverage (match rate 1.0) when the
+    # plan allows it, so a tau = 1 run can still reach the strong features —
+    # the paper observes tau = 1 hitting peak accuracy on some datasets
+    # while yielding nothing on lakes without perfect matches (school).
+    perfect = set(spine) if hi >= 1.0 else set()
+    for satellite in satellites:
+        table = Table(columns_of[satellite], name=satellite)
+        match_rate = 1.0 if satellite in perfect else float(rng.uniform(lo, hi))
+        if match_rate < 1.0:
+            keep = rng.random(n) < match_rate
+            if not keep.any():
+                keep[0] = True
+            table = table.filter(keep)
+        tables.append(table)
+
+    constraints = []
+    for satellite in satellites:
+        parent, __ = topology[satellite]
+        parent_name = base_name if parent == "__base__" else parent
+        constraints.append(
+            KFKConstraint(
+                table_a=parent_name,
+                column_a=key_column_name(satellite),
+                table_b=satellite,
+                column_b=key_column_name(satellite),
+            )
+        )
+
+    depths = {base_name: 0}
+    depths.update({s: topology[s][1] for s in satellites})
+    return LakeBundle(
+        name=plan.name,
+        base_name=base_name,
+        label_column=LABEL_COLUMN,
+        tables=tuple(tables),
+        constraints=tuple(constraints),
+        depths=depths,
+        feature_placement=placement,
+    )

@@ -1,0 +1,53 @@
+"""Dataset discovery: column profiling and COMA-style schema matching.
+
+Provides the "unknown relationships" half of DRG construction — the paper's
+data-lake setting, where joinability edges come from a schema matcher
+(COMA via Valentine) instead of declared key/foreign-key constraints.
+"""
+
+from .coma import ColumnMatch, ComaMatcher
+from .distribution import DistributionMatcher, QuantileSketch, quantile_similarity
+from .lsh import LazoMatcher, estimate_containment
+from .name_similarity import (
+    jaro_winkler_similarity,
+    levenshtein_similarity,
+    ngram_similarity,
+    token_similarity,
+    tokenize_identifier,
+)
+from .profiles import ColumnProfile, TableProfile, profile_column, profile_table
+from .valentine import MatchReport, evaluate_matches, run_matcher
+from .value_overlap import (
+    instance_similarity,
+    minhash_jaccard,
+    numeric_range_overlap,
+    sketch_containment,
+    sketch_jaccard,
+)
+
+__all__ = [
+    "ColumnProfile",
+    "TableProfile",
+    "profile_column",
+    "profile_table",
+    "levenshtein_similarity",
+    "jaro_winkler_similarity",
+    "ngram_similarity",
+    "token_similarity",
+    "tokenize_identifier",
+    "sketch_jaccard",
+    "sketch_containment",
+    "minhash_jaccard",
+    "numeric_range_overlap",
+    "instance_similarity",
+    "ColumnMatch",
+    "ComaMatcher",
+    "LazoMatcher",
+    "estimate_containment",
+    "DistributionMatcher",
+    "QuantileSketch",
+    "quantile_similarity",
+    "MatchReport",
+    "run_matcher",
+    "evaluate_matches",
+]

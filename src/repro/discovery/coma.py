@@ -1,0 +1,149 @@
+"""A COMA-style composite schema matcher.
+
+COMA (Do & Rahm, VLDB 2002) combines multiple independent matchers and
+aggregates their scores.  Our instantiation combines four name matchers
+(Levenshtein, Jaro-Winkler, trigram, token overlap) and one instance
+matcher (value containment/Jaccard), aggregated as a weighted average — the
+"default schema matching strategy" knob of the paper's Valentine setup.
+
+The matcher deliberately produces *spurious but not absurd* matches at the
+paper's 0.55 threshold: similarly-named columns with disjoint values, or
+value-overlapping columns with unrelated names, can clear the bar.  That is
+the noise regime AutoFeat's pruning is evaluated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataframe import Table
+from ..errors import DiscoveryError
+from .name_similarity import (
+    jaro_winkler_similarity,
+    levenshtein_similarity,
+    ngram_similarity,
+    token_similarity,
+)
+from .profiles import ColumnProfile, TableProfile, profile_table
+from .value_overlap import instance_similarity
+
+__all__ = ["ColumnMatch", "ComaMatcher"]
+
+
+@dataclass(frozen=True)
+class ColumnMatch:
+    """One scored correspondence between columns of two tables."""
+
+    table_a: str
+    column_a: str
+    table_b: str
+    column_b: str
+    score: float
+    name_score: float
+    instance_score: float
+
+
+def _name_score(a: str, b: str) -> float:
+    """Aggregate of the four name matchers (max of avg and token score).
+
+    Taking the max lets a strong token match (``credit_id`` vs
+    ``CreditID``) win even when character-level metrics disagree, which is
+    COMA's "max" aggregation applied to its linguistic matcher group.
+    """
+    average = (
+        levenshtein_similarity(a.lower(), b.lower())
+        + jaro_winkler_similarity(a.lower(), b.lower())
+        + ngram_similarity(a, b)
+    ) / 3.0
+    return max(average, token_similarity(a, b))
+
+
+class ComaMatcher:
+    """Composite name+instance matcher with COMA-style aggregation.
+
+    Parameters
+    ----------
+    name_weight, instance_weight:
+        Convex combination weights for the two matcher groups.  The default
+        60/40 mix reflects COMA's emphasis on schema-level evidence with
+        instance evidence as corroboration.
+    min_score:
+        Matches below this floor are not even reported (they would be
+        discarded by any realistic threshold anyway).
+    key_like_only:
+        When True, only column pairs where at least one side looks like a
+        join column (key or low-cardinality category) are reported —
+        full-feature columns rarely make sense as join keys and skipping
+        them keeps the lake graph from drowning in noise.
+    """
+
+    def __init__(
+        self,
+        name_weight: float = 0.6,
+        instance_weight: float = 0.4,
+        min_score: float = 0.3,
+        key_like_only: bool = True,
+    ):
+        total = name_weight + instance_weight
+        if total <= 0:
+            raise DiscoveryError("matcher weights must sum to a positive value")
+        self._name_weight = name_weight / total
+        self._instance_weight = instance_weight / total
+        self._min_score = min_score
+        self._key_like_only = key_like_only
+        self._profile_cache: dict[int, TableProfile] = {}
+
+    def _profiles(self, table: Table) -> TableProfile:
+        cached = self._profile_cache.get(id(table))
+        if cached is None:
+            cached = profile_table(table)
+            self._profile_cache[id(table)] = cached
+        return cached
+
+    @staticmethod
+    def _key_like(profile: ColumnProfile) -> bool:
+        if profile.n_distinct <= 1:
+            return False
+        if profile.uniqueness >= 0.5:
+            return True
+        return profile.n_distinct <= 64
+
+    def match_profiles(
+        self, profiles_a: TableProfile, profiles_b: TableProfile
+    ) -> list[ColumnMatch]:
+        """Score every column pair of two profiled tables."""
+        matches = []
+        for col_a in profiles_a.columns:
+            for col_b in profiles_b.columns:
+                if self._key_like_only and not (
+                    self._key_like(col_a) and self._key_like(col_b)
+                ):
+                    continue
+                name = _name_score(col_a.column_name, col_b.column_name)
+                instance = instance_similarity(col_a, col_b)
+                score = (
+                    self._name_weight * name + self._instance_weight * instance
+                )
+                if score >= self._min_score:
+                    matches.append(
+                        ColumnMatch(
+                            table_a=profiles_a.table_name,
+                            column_a=col_a.column_name,
+                            table_b=profiles_b.table_name,
+                            column_b=col_b.column_name,
+                            score=round(float(score), 6),
+                            name_score=round(float(name), 6),
+                            instance_score=round(float(instance), 6),
+                        )
+                    )
+        matches.sort(key=lambda m: (-m.score, m.column_a, m.column_b))
+        return matches
+
+    def match(self, table_a: Table, table_b: Table) -> list[ColumnMatch]:
+        """Score every column pair of two tables (profiles are cached)."""
+        return self.match_profiles(self._profiles(table_a), self._profiles(table_b))
+
+    def __call__(self, table_a: Table, table_b: Table):
+        """Adapter to the DRG ``Matcher`` protocol: yields score tuples."""
+        for match in self.match(table_a, table_b):
+            yield match.column_a, match.column_b, match.score

@@ -1,0 +1,130 @@
+"""Schema-level (name-based) similarity measures.
+
+COMA's linguistic matchers compare attribute *names*.  We implement the
+standard string-similarity toolbox — normalised Levenshtein, Jaro-Winkler,
+character n-gram Jaccard and identifier-token overlap — all returning
+scores in [0, 1].
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "levenshtein_similarity",
+    "jaro_winkler_similarity",
+    "ngram_similarity",
+    "token_similarity",
+    "tokenize_identifier",
+]
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+_NON_ALNUM = re.compile(r"[^0-9a-zA-Z]+")
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """1 - edit_distance / max_length, in [0, 1]."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    distance = previous[-1]
+    return 1.0 - distance / max(len(a), len(b))
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler similarity, rewarding shared prefixes (identifier-friendly)."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if not b_flags[j] and b[j] == ca:
+                a_flags[i] = b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, flagged in enumerate(a_flags):
+        if not flagged:
+            continue
+        while not b_flags[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    jaro = (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+    prefix = 0
+    for ca, cb in zip(a, b):
+        if ca != cb or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def _ngrams(text: str, n: int) -> set[str]:
+    padded = f"#{text}#"
+    if len(padded) < n:
+        return {padded}
+    return {padded[i : i + n] for i in range(len(padded) - n + 1)}
+
+
+def ngram_similarity(a: str, b: str, n: int = 3) -> float:
+    """Jaccard similarity of padded character n-grams."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    grams_a, grams_b = _ngrams(a.lower(), n), _ngrams(b.lower(), n)
+    union = grams_a | grams_b
+    if not union:
+        return 0.0
+    return len(grams_a & grams_b) / len(union)
+
+
+def tokenize_identifier(name: str) -> list[str]:
+    """Split an identifier into lowercase word tokens.
+
+    Handles snake_case, kebab-case, spaces and camelCase:
+    ``"applicantID"`` -> ``["applicant", "id"]``.
+    """
+    decamelled = _CAMEL_BOUNDARY.sub(" ", name)
+    parts = _NON_ALNUM.split(decamelled)
+    return [p.lower() for p in parts if p]
+
+
+def token_similarity(a: str, b: str) -> float:
+    """Jaccard similarity of identifier token sets.
+
+    Catches matches like ``credit_id`` vs ``CreditId`` that character
+    metrics under-score, and is the main reason composite matchers beat any
+    single string measure.
+    """
+    tokens_a = set(tokenize_identifier(a))
+    tokens_b = set(tokenize_identifier(b))
+    union = tokens_a | tokens_b
+    if not union:
+        return 1.0 if a == b else 0.0
+    return len(tokens_a & tokens_b) / len(union)

@@ -1,0 +1,130 @@
+"""Column profiling for schema matching.
+
+Matchers never touch full columns: each column is summarised once into a
+:class:`ColumnProfile` — dtype, cardinality, a bounded sketch of distinct
+values and a MinHash signature — and all pairwise similarity is computed on
+profiles.  This mirrors how dataset-discovery systems (Aurum, Lazo, JOSIE)
+scale to lakes: profile once, match many times.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dataframe import Column, DType, Table
+
+__all__ = ["ColumnProfile", "TableProfile", "profile_column", "profile_table"]
+
+SKETCH_SIZE = 256
+MINHASH_PERMUTATIONS = 64
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+def _stable_hash(token: str) -> int:
+    """64-bit hash that is stable across processes (unlike ``hash``)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _minhash_signature(tokens: set[str], n_perm: int = MINHASH_PERMUTATIONS) -> np.ndarray:
+    """MinHash signature of a token set under ``n_perm`` linear permutations."""
+    signature = np.full(n_perm, np.iinfo(np.uint64).max, dtype=np.uint64)
+    if not tokens:
+        return signature
+    rng = np.random.default_rng(0xDA7A)
+    a = rng.integers(1, _MERSENNE_PRIME, size=n_perm, dtype=np.uint64)
+    b = rng.integers(0, _MERSENNE_PRIME, size=n_perm, dtype=np.uint64)
+    hashes = np.asarray([_stable_hash(t) for t in tokens], dtype=np.uint64)
+    for h in hashes:
+        permuted = (a * h + b) % _MERSENNE_PRIME
+        signature = np.minimum(signature, permuted)
+    return signature
+
+
+def _normalise(value: object) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value).strip().lower()
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Compact matching summary of a single column."""
+
+    table_name: str
+    column_name: str
+    dtype: DType
+    n_rows: int
+    n_distinct: int
+    null_ratio: float
+    sketch: frozenset[str]
+    minhash: np.ndarray = field(repr=False, compare=False)
+    numeric_min: float | None = None
+    numeric_max: float | None = None
+
+    @property
+    def uniqueness(self) -> float:
+        """Distinct fraction — near 1.0 marks a key candidate."""
+        non_null = self.n_rows * (1.0 - self.null_ratio)
+        if non_null <= 0:
+            return 0.0
+        return min(1.0, self.n_distinct / non_null)
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Profiles for every column of one table."""
+
+    table_name: str
+    columns: tuple[ColumnProfile, ...]
+
+    def column(self, name: str) -> ColumnProfile:
+        for profile in self.columns:
+            if profile.column_name == name:
+                return profile
+        raise KeyError(name)
+
+
+def profile_column(column: Column, table_name: str, column_name: str) -> ColumnProfile:
+    """Summarise one column into a :class:`ColumnProfile`.
+
+    The sketch keeps up to :data:`SKETCH_SIZE` distinct normalised values —
+    enough for containment estimates on join keys, bounded regardless of
+    table size.  Values are sampled deterministically (sorted order) so
+    profiling is reproducible.
+    """
+    distinct = column.unique()
+    normalised = [_normalise(v) for v in distinct]
+    sketch_values = frozenset(normalised[:SKETCH_SIZE])
+    numeric_min = numeric_max = None
+    if column.dtype.is_numeric:
+        present = column.non_null_values().astype(np.float64)
+        if present.size:
+            numeric_min = float(present.min())
+            numeric_max = float(present.max())
+    return ColumnProfile(
+        table_name=table_name,
+        column_name=column_name,
+        dtype=column.dtype,
+        n_rows=len(column),
+        n_distinct=len(distinct),
+        null_ratio=column.null_ratio(),
+        sketch=sketch_values,
+        minhash=_minhash_signature(set(normalised)),
+        numeric_min=numeric_min,
+        numeric_max=numeric_max,
+    )
+
+
+def profile_table(table: Table) -> TableProfile:
+    """Profile every column of ``table``."""
+    return TableProfile(
+        table_name=table.name,
+        columns=tuple(
+            profile_column(table.column(name), table.name, name)
+            for name in table.column_names
+        ),
+    )

@@ -1,0 +1,85 @@
+"""Valentine-style evaluation harness for schema matchers.
+
+Valentine (ICDE 2021) benchmarks matchers by running them over dataset
+pairs and scoring the ranked matches against ground truth.  We provide the
+two pieces AutoFeat's pipeline needs: a collection runner that produces all
+pairwise matches, and precision/recall/F1 against a ground-truth match set
+(used by our tests to sanity-check the COMA substitute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from ..dataframe import Table
+from ..errors import DiscoveryError
+from .coma import ColumnMatch, ComaMatcher
+
+__all__ = ["MatchReport", "run_matcher", "evaluate_matches"]
+
+
+@dataclass(frozen=True)
+class MatchReport:
+    """Precision/recall/F1 of a match set against ground truth."""
+
+    n_matches: int
+    n_truth: int
+    true_positives: int
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def run_matcher(
+    tables: Sequence[Table],
+    matcher: ComaMatcher | None = None,
+    threshold: float = 0.55,
+) -> list[ColumnMatch]:
+    """Match every unordered pair of tables, keep scores >= ``threshold``."""
+    if len({t.name for t in tables}) != len(tables):
+        raise DiscoveryError("tables must have distinct names")
+    matcher = matcher or ComaMatcher()
+    out: list[ColumnMatch] = []
+    for table_a, table_b in combinations(tables, 2):
+        out.extend(
+            m for m in matcher.match(table_a, table_b) if m.score >= threshold
+        )
+    return out
+
+
+def _canonical(table_a: str, column_a: str, table_b: str, column_b: str):
+    forward = (table_a, column_a, table_b, column_b)
+    backward = (table_b, column_b, table_a, column_a)
+    return min(forward, backward)
+
+
+def evaluate_matches(
+    matches: Sequence[ColumnMatch],
+    ground_truth: Sequence[tuple[str, str, str, str]],
+) -> MatchReport:
+    """Score matches against ``(table_a, col_a, table_b, col_b)`` truths.
+
+    Direction-insensitive: a truth listed A->B is credited when the matcher
+    reports B->A.
+    """
+    predicted = {
+        _canonical(m.table_a, m.column_a, m.table_b, m.column_b) for m in matches
+    }
+    truth = {_canonical(*t) for t in ground_truth}
+    true_positives = len(predicted & truth)
+    precision = true_positives / len(predicted) if predicted else 0.0
+    recall = true_positives / len(truth) if truth else 0.0
+    return MatchReport(
+        n_matches=len(predicted),
+        n_truth=len(truth),
+        true_positives=true_positives,
+        precision=precision,
+        recall=recall,
+    )

@@ -1,0 +1,77 @@
+"""Instance-level (value-based) similarity measures.
+
+COMA's instance matchers compare column *contents*.  Joinability is about
+shared values, so the primary signals are Jaccard overlap and containment
+over the profile sketches, with a MinHash estimator available when sketches
+were truncated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .profiles import ColumnProfile
+
+__all__ = [
+    "sketch_jaccard",
+    "sketch_containment",
+    "minhash_jaccard",
+    "numeric_range_overlap",
+    "instance_similarity",
+]
+
+
+def sketch_jaccard(a: ColumnProfile, b: ColumnProfile) -> float:
+    """Exact Jaccard over the (bounded) distinct-value sketches."""
+    union = a.sketch | b.sketch
+    if not union:
+        return 0.0
+    return len(a.sketch & b.sketch) / len(union)
+
+
+def sketch_containment(a: ColumnProfile, b: ColumnProfile) -> float:
+    """Max directional containment |A∩B| / min(|A|, |B|).
+
+    Joinability cares about the smaller side being covered: a 50-value
+    foreign key fully contained in a 10000-value primary key is perfectly
+    joinable despite tiny Jaccard.
+    """
+    smaller = min(len(a.sketch), len(b.sketch))
+    if smaller == 0:
+        return 0.0
+    return len(a.sketch & b.sketch) / smaller
+
+
+def minhash_jaccard(a: ColumnProfile, b: ColumnProfile) -> float:
+    """MinHash estimate of Jaccard — agreement rate of the signatures."""
+    if a.minhash.size == 0 or a.minhash.size != b.minhash.size:
+        return 0.0
+    return float(np.mean(a.minhash == b.minhash))
+
+
+def numeric_range_overlap(a: ColumnProfile, b: ColumnProfile) -> float:
+    """Overlap fraction of numeric [min, max] ranges (weak evidence)."""
+    if a.numeric_min is None or b.numeric_min is None:
+        return 0.0
+    lo = max(a.numeric_min, b.numeric_min)
+    hi = min(a.numeric_max, b.numeric_max)
+    if hi < lo:
+        return 0.0
+    span = max(a.numeric_max, b.numeric_max) - min(a.numeric_min, b.numeric_min)
+    if span == 0.0:
+        return 1.0
+    return (hi - lo) / span
+
+
+def instance_similarity(a: ColumnProfile, b: ColumnProfile) -> float:
+    """Composite instance score: containment-dominant, Jaccard-backed.
+
+    Containment is the joinability signal; Jaccard tempers it so that a
+    tiny sketch trivially contained in a huge one does not score 1.0
+    outright.  Incompatible dtypes (string vs numeric) score 0.
+    """
+    if a.dtype.is_numeric != b.dtype.is_numeric:
+        return 0.0
+    containment = sketch_containment(a, b)
+    jaccard = sketch_jaccard(a, b)
+    return 0.7 * containment + 0.3 * jaccard

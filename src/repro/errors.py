@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of the library with a single except clause
+while still being able to discriminate on the specific failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table or column was used in a way that violates its schema.
+
+    Raised for unknown column names, duplicate column names, mismatched
+    column lengths, and incompatible dtypes.
+    """
+
+
+class JoinError(ReproError):
+    """A join could not be performed (missing join columns, empty result)."""
+
+
+class GraphError(ReproError):
+    """The dataset relation graph was queried or mutated inconsistently."""
+
+
+class SelectionError(ReproError):
+    """Feature selection was invoked with invalid inputs.
+
+    Examples: an unknown metric name, an empty feature matrix, or a label
+    vector whose length disagrees with the features.
+    """
+
+
+class ModelError(ReproError):
+    """An ML model was used before fitting or fit on degenerate data."""
+
+
+class DiscoveryError(ReproError):
+    """Dataset discovery (schema matching) failed or was misconfigured."""
+
+
+class ConfigError(ReproError):
+    """An AutoFeat configuration value is out of its legal domain."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset/lake generator was given invalid parameters."""

@@ -1,0 +1,112 @@
+"""Bagged tree ensembles: random forest and extremely-randomised trees.
+
+Two of the four tree models the paper evaluates with (Random Forest and
+Extreme Randomised Trees).  Both average the class-probability outputs of
+their member trees; they differ in how members are decorrelated:
+
+* **RandomForestClassifier** — bootstrap row sampling + sqrt-feature
+  subsampling with exact best-split search;
+* **ExtraTreesClassifier** — full rows, sqrt-feature subsampling, and a
+  *random* threshold per candidate feature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier", "ExtraTreesClassifier"]
+
+
+class _BaseForest:
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ModelError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: list[DecisionTreeClassifier] = []
+        self.n_classes_ = 0
+
+    _bootstrap = True
+    _random_thresholds = False
+
+    def fit(self, X: np.ndarray, y: np.ndarray):
+        """Fit all member trees on class indices ``y`` in ``0..C-1``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self.n_classes_ = int(y.max()) + 1 if y.size else 0
+        rng = np.random.default_rng(self.seed)
+        self._trees = []
+        n = len(y)
+        for t in range(self.n_estimators):
+            if self._bootstrap:
+                idx = rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_thresholds=self._random_thresholds,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.n_classes_ = self.n_classes_
+            tree.fit(X[idx], y[idx])
+            # A bootstrap sample may miss the rarest class; normalise the
+            # tree's class count so probability vectors align when averaged.
+            if tree.n_classes_ != self.n_classes_:
+                tree.n_classes_ = self.n_classes_
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average of member-tree class probabilities."""
+        if not self._trees:
+            raise ModelError("forest is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        total = np.zeros((len(X), self.n_classes_), dtype=np.float64)
+        for tree in self._trees:
+            proba = tree.predict_proba(X)
+            if proba.shape[1] < self.n_classes_:
+                padded = np.zeros((len(X), self.n_classes_))
+                padded[:, : proba.shape[1]] = proba
+                proba = padded
+            total += proba
+        return total / len(self._trees)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-probability class index per row."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Mean of member-tree impurity-decrease importances."""
+        if not self._trees:
+            raise ModelError("forest is not fitted")
+        return np.mean([t.feature_importances_ for t in self._trees], axis=0)
+
+
+class RandomForestClassifier(_BaseForest):
+    """Bootstrap-aggregated CART trees with feature subsampling."""
+
+    _bootstrap = True
+    _random_thresholds = False
+
+
+class ExtraTreesClassifier(_BaseForest):
+    """Extremely-randomised trees: full sample, random thresholds."""
+
+    _bootstrap = False
+    _random_thresholds = True

@@ -1,0 +1,73 @@
+"""K-nearest-neighbours classifier (brute force, standardised L2).
+
+One of the two non-tree models in the paper's Figures 5 and 7, included
+precisely because it *suffers* when augmentation adds irrelevant features:
+distances lose meaning in high dimensions, which is the behaviour those
+figures document.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier:
+    """Majority vote among the k nearest training rows (z-scored L2)."""
+
+    def __init__(self, n_neighbors: int = 5):
+        if n_neighbors < 1:
+            raise ModelError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        self.n_neighbors = n_neighbors
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self.n_classes_ = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        """Memorise the (standardised) training set."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ModelError("X/y shape mismatch")
+        if X.shape[0] == 0:
+            raise ModelError("cannot fit on zero rows")
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0.0] = 1.0
+        self._X = (X - self._mean) / self._std
+        self._y = y
+        self.n_classes_ = int(y.max()) + 1 if y.size else 0
+        return self
+
+    def _neighbors(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None or self._mean is None or self._std is None:
+            raise ModelError("model is not fitted")
+        Xs = (np.asarray(X, dtype=np.float64) - self._mean) / self._std
+        # Squared L2 via the expansion trick; no need for sqrt to rank.
+        cross = Xs @ self._X.T
+        dist = (
+            np.sum(Xs * Xs, axis=1)[:, None]
+            - 2.0 * cross
+            + np.sum(self._X * self._X, axis=1)[None, :]
+        )
+        k = min(self.n_neighbors, self._X.shape[0])
+        return np.argpartition(dist, kth=k - 1, axis=1)[:, :k]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Neighbour class frequencies."""
+        neighbor_idx = self._neighbors(X)
+        assert self._y is not None
+        out = np.zeros((len(neighbor_idx), self.n_classes_), dtype=np.float64)
+        for i, idx in enumerate(neighbor_idx):
+            counts = np.bincount(self._y[idx], minlength=self.n_classes_)
+            out[i] = counts / counts.sum()
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-vote class index per row."""
+        return np.argmax(self.predict_proba(X), axis=1)

@@ -1,0 +1,32 @@
+"""Unit tests for the ``python -m repro.bench`` experiment CLI."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "fig9" in out
+
+    def test_every_registered_experiment_has_metadata(self):
+        for key, (title, runner) in EXPERIMENTS.items():
+            assert title
+            assert callable(runner)
+
+    def test_table2_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "bioresponse" in out
+
+    def test_eq3_experiment(self, capsys):
+        assert main(["eq3"]) == 0
+        assert "joinall_orderings" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code == 2

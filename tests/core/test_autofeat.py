@@ -1,0 +1,179 @@
+"""Integration-style tests for the full AutoFeat algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoFeat, AutoFeatConfig
+from repro.dataframe import Table
+from repro.errors import JoinError
+from repro.graph import DatasetRelationGraph, KFKConstraint
+
+
+def planted_lake(n=700, seed=7):
+    """Base with weak features; the real signal sits two hops away."""
+    rng = np.random.default_rng(seed)
+    ids = np.arange(n)
+    mid_key = rng.permutation(n) + 10_000
+    deep_key = rng.permutation(n) + 50_000
+    signal = rng.normal(0, 1, n)
+    label = ((signal + rng.normal(0, 0.4, n)) > 0).astype(int)
+
+    base = Table(
+        {"id": ids, "weak": rng.normal(0, 1, n), "label": label}, name="base"
+    )
+    mid = Table(
+        {"mid_key": mid_key, "deep_key": deep_key, "mid_noise": rng.normal(0, 1, n)},
+        name="mid",
+    )
+    deep = Table({"deep_key": deep_key, "signal": signal}, name="deep")
+    junk = Table({"id": ids, "junk": rng.normal(0, 1, n)}, name="junk")
+    base = base.with_column("mid_key", mid.column("mid_key"))
+    drg = DatasetRelationGraph.from_constraints(
+        [base, mid, deep, junk],
+        [
+            KFKConstraint("base", "mid_key", "mid", "mid_key"),
+            KFKConstraint("mid", "deep_key", "deep", "deep_key"),
+            KFKConstraint("base", "id", "junk", "id"),
+        ],
+    )
+    return drg
+
+
+@pytest.fixture(scope="module")
+def drg():
+    return planted_lake()
+
+
+@pytest.fixture(scope="module")
+def discovery(drg):
+    autofeat = AutoFeat(drg, AutoFeatConfig(sample_size=500, seed=1))
+    return autofeat.discover("base", "label")
+
+
+class TestDiscovery:
+    def test_transitive_path_ranked_first(self, discovery):
+        best = discovery.best_path
+        assert best is not None
+        assert best.path.terminal == "deep"
+        assert "deep.signal" in best.selected_features
+
+    def test_all_paths_explored(self, discovery):
+        # base->mid, base->junk, base->mid->deep.
+        assert discovery.n_paths_explored == 3
+        assert len(discovery.ranked_paths) == 3
+
+    def test_scores_descending(self, discovery):
+        scores = [r.score for r in discovery.ranked_paths]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_junk_path_contributes_no_features(self, discovery):
+        junk_paths = [
+            r for r in discovery.ranked_paths if r.path.terminal == "junk"
+        ]
+        assert junk_paths
+        assert junk_paths[0].selected_features == ()
+
+    def test_feature_selection_time_recorded(self, discovery):
+        assert discovery.feature_selection_seconds > 0
+
+    def test_top_k(self, discovery):
+        assert len(discovery.top(2)) == 2
+
+    def test_missing_label_raises(self, drg):
+        with pytest.raises(JoinError):
+            AutoFeat(drg).discover("base", "not_a_column")
+
+
+class TestTraining:
+    def test_best_path_improves_over_base(self, drg, discovery):
+        from repro.ml import evaluate_accuracy
+
+        autofeat = AutoFeat(drg, AutoFeatConfig(sample_size=500, seed=1))
+        result = autofeat.train_top_k(discovery, "lightgbm")
+        base_acc = evaluate_accuracy(
+            drg.table("base"), "label", "lightgbm", seed=1
+        )
+        assert result.accuracy > base_acc + 0.05
+
+    def test_augmented_table_has_selected_features(self, drg, discovery):
+        autofeat = AutoFeat(drg, AutoFeatConfig(sample_size=500, seed=1))
+        result = autofeat.train_top_k(discovery, "lightgbm")
+        assert result.augmented_table is not None
+        assert "deep.signal" in result.augmented_table
+        assert "label" in result.augmented_table
+
+    def test_summary_mentions_best_path(self, drg, discovery):
+        autofeat = AutoFeat(drg, AutoFeatConfig(sample_size=500, seed=1))
+        result = autofeat.train_top_k(discovery, "lightgbm")
+        assert "best accuracy" in result.summary()
+        assert result.n_joined_tables == 2
+
+    def test_total_time_includes_selection(self, drg, discovery):
+        autofeat = AutoFeat(drg, AutoFeatConfig(sample_size=500, seed=1))
+        result = autofeat.train_top_k(discovery, "lightgbm")
+        assert result.total_seconds >= discovery.feature_selection_seconds
+
+
+class TestDeterminism:
+    def test_same_seed_same_ranking(self, drg):
+        config = AutoFeatConfig(sample_size=500, seed=3)
+        a = AutoFeat(drg, config).discover("base", "label")
+        b = AutoFeat(drg, config).discover("base", "label")
+        assert [r.path.describe() for r in a.ranked_paths] == [
+            r.path.describe() for r in b.ranked_paths
+        ]
+        assert [r.score for r in a.ranked_paths] == [
+            r.score for r in b.ranked_paths
+        ]
+
+
+class TestConfigEffects:
+    def test_max_path_length_one_blocks_transitive(self, drg):
+        config = AutoFeatConfig(sample_size=500, max_path_length=1, seed=1)
+        discovery = AutoFeat(drg, config).discover("base", "label")
+        assert all(r.path.length == 1 for r in discovery.ranked_paths)
+
+    def test_dfs_traversal_finds_same_paths(self, drg):
+        bfs = AutoFeat(
+            drg, AutoFeatConfig(sample_size=500, seed=1)
+        ).discover("base", "label")
+        dfs = AutoFeat(
+            drg, AutoFeatConfig(sample_size=500, traversal="dfs", seed=1)
+        ).discover("base", "label")
+        assert {r.path.describe() for r in bfs.ranked_paths} == {
+            r.path.describe() for r in dfs.ranked_paths
+        }
+
+    def test_tau_one_prunes_imperfect_joins(self):
+        # Satellite covering half the base rows: completeness ~0.5.
+        rng = np.random.default_rng(0)
+        n = 400
+        ids = np.arange(n)
+        label = rng.integers(0, 2, n)
+        base = Table({"id": ids, "x": rng.normal(0, 1, n), "label": label}, name="base")
+        partial = Table(
+            {"id": ids[: n // 2], "y": rng.normal(0, 1, n // 2)}, name="partial"
+        )
+        drg = DatasetRelationGraph.from_constraints(
+            [base, partial], [KFKConstraint("base", "id", "partial", "id")]
+        )
+        strict = AutoFeat(drg, AutoFeatConfig(tau=1.0, sample_size=300, seed=1))
+        discovery = strict.discover("base", "label")
+        assert discovery.n_paths_pruned_quality == 1
+        assert len(discovery.ranked_paths) == 0
+        lenient = AutoFeat(drg, AutoFeatConfig(tau=0.3, sample_size=300, seed=1))
+        assert len(lenient.discover("base", "label").ranked_paths) == 1
+
+    def test_no_paths_yields_empty_result(self):
+        rng = np.random.default_rng(1)
+        base = Table(
+            {"id": [1, 2, 3, 4] * 5, "x": rng.normal(0, 1, 20), "label": [0, 1] * 10},
+            name="base",
+        )
+        drg = DatasetRelationGraph.from_constraints([base], [])
+        result = AutoFeat(drg, AutoFeatConfig(sample_size=10, seed=0)).augment(
+            "base", "label"
+        )
+        assert result.best is None
+        assert result.augmented_table is None
+        assert result.accuracy == 0.0

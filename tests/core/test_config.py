@@ -1,0 +1,80 @@
+"""Unit tests for AutoFeatConfig validation and presets."""
+
+import pytest
+
+from repro.core import AutoFeatConfig
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_paper_values(self):
+        config = AutoFeatConfig()
+        assert config.tau == 0.65
+        assert config.kappa == 15
+        assert config.relevance_metric == "spearman"
+        assert config.redundancy_method == "mrmr"
+        assert config.traversal == "bfs"
+
+    @pytest.mark.parametrize("tau", [-0.1, 1.1])
+    def test_tau_out_of_range(self, tau):
+        with pytest.raises(ConfigError):
+            AutoFeatConfig(tau=tau)
+
+    def test_tau_boundaries_ok(self):
+        AutoFeatConfig(tau=0.0)
+        AutoFeatConfig(tau=1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kappa": 0},
+            {"top_k": 0},
+            {"max_path_length": 0},
+            {"sample_size": 5},
+            {"relevance_metric": "chi2"},
+            {"redundancy_method": "lasso"},
+            {"traversal": "random"},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ConfigError):
+            AutoFeatConfig(**kwargs)
+
+    def test_relief_accepted_as_relevance(self):
+        AutoFeatConfig(relevance_metric="relief")
+
+
+class TestOverridesAndAblations:
+    def test_with_overrides(self):
+        config = AutoFeatConfig().with_overrides(tau=0.8, kappa=5)
+        assert config.tau == 0.8
+        assert config.kappa == 5
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ConfigError):
+            AutoFeatConfig().with_overrides(tau=2.0)
+
+    def test_original_unchanged(self):
+        config = AutoFeatConfig()
+        config.with_overrides(tau=0.9)
+        assert config.tau == 0.65
+
+    def test_ablation_spearman_mrmr_is_default(self):
+        assert AutoFeatConfig.ablation("spearman-mrmr") == AutoFeatConfig()
+
+    def test_ablation_jmi(self):
+        assert AutoFeatConfig.ablation("spearman-jmi").redundancy_method == "jmi"
+
+    def test_ablation_pearson(self):
+        assert AutoFeatConfig.ablation("pearson-mrmr").relevance_metric == "pearson"
+
+    def test_ablation_single_stage(self):
+        assert not AutoFeatConfig.ablation("spearman-only").use_redundancy
+        assert not AutoFeatConfig.ablation("mrmr-only").use_relevance
+
+    def test_ablation_extra_kwargs(self):
+        assert AutoFeatConfig.ablation("spearman-jmi", seed=9).seed == 9
+
+    def test_unknown_ablation_raises(self):
+        with pytest.raises(ConfigError):
+            AutoFeatConfig.ablation("neural")

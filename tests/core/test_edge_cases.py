@@ -1,0 +1,149 @@
+"""Failure-injection tests: degenerate lakes the pipeline must survive."""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoFeat, AutoFeatConfig
+from repro.dataframe import Column, Table
+from repro.graph import DatasetRelationGraph, KFKConstraint
+
+
+def base_table(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "id": np.arange(n),
+            "x": rng.normal(0, 1, n),
+            "label": rng.integers(0, 2, n),
+        },
+        name="base",
+    )
+
+
+def config():
+    return AutoFeatConfig(sample_size=150, seed=1)
+
+
+class TestDegenerateSatellites:
+    def test_zero_key_overlap_join_pruned(self):
+        base = base_table()
+        stranger = Table(
+            {"id": np.arange(1000, 1100), "y": np.zeros(100)}, name="stranger"
+        )
+        drg = DatasetRelationGraph.from_constraints(
+            [base, stranger], [KFKConstraint("base", "id", "stranger", "id")]
+        )
+        discovery = AutoFeat(drg, config()).discover("base", "label")
+        # The join matches nothing: completeness 0 -> quality-pruned.
+        assert discovery.n_paths_pruned_quality == 1
+        assert discovery.ranked_paths == ()
+
+    def test_single_row_satellite(self):
+        base = base_table()
+        tiny = Table({"id": [0], "y": [1.0]}, name="tiny")
+        drg = DatasetRelationGraph.from_constraints(
+            [base, tiny], [KFKConstraint("base", "id", "tiny", "id")]
+        )
+        discovery = AutoFeat(drg, config()).discover("base", "label")
+        # Survives or prunes, but never crashes; at tau=0.65 it prunes.
+        assert discovery.n_paths_explored == 1
+
+    def test_all_null_satellite_feature(self):
+        base = base_table()
+        nully = Table(
+            {"id": np.arange(200), "y": Column.nulls(200)}, name="nully"
+        )
+        drg = DatasetRelationGraph.from_constraints(
+            [base, nully], [KFKConstraint("base", "id", "nully", "id")]
+        )
+        discovery = AutoFeat(drg, config()).discover("base", "label")
+        # The key matches (key completeness counts), the feature is null;
+        # selection treats it as irrelevant. No crash either way.
+        assert discovery.n_paths_explored == 1
+
+    def test_constant_satellite_feature_rejected(self):
+        base = base_table()
+        constant = Table(
+            {"id": np.arange(200), "y": np.full(200, 7.0)}, name="constant"
+        )
+        drg = DatasetRelationGraph.from_constraints(
+            [base, constant], [KFKConstraint("base", "id", "constant", "id")]
+        )
+        discovery = AutoFeat(drg, config()).discover("base", "label")
+        ranked = discovery.ranked_paths
+        assert ranked and ranked[0].selected_features == ()
+
+    def test_string_join_keys(self):
+        rng = np.random.default_rng(2)
+        n = 150
+        keys = [f"k{i}" for i in range(n)]
+        signal = rng.normal(0, 1, n)
+        label = (signal > 0).astype(int)
+        base = Table(
+            {"key": keys, "x": rng.normal(0, 1, n), "label": label}, name="base"
+        )
+        sat = Table({"key": keys, "signal": signal}, name="sat")
+        drg = DatasetRelationGraph.from_constraints(
+            [base, sat], [KFKConstraint("base", "key", "sat", "key")]
+        )
+        result = AutoFeat(drg, config()).augment("base", "label")
+        assert result.best is not None
+        assert "sat.signal" in result.best.ranked.selected_features
+
+
+class TestDegenerateLabels:
+    def test_heavily_imbalanced_label(self):
+        rng = np.random.default_rng(3)
+        n = 300
+        label = np.zeros(n, dtype=int)
+        label[:12] = 1
+        base = Table(
+            {"id": np.arange(n), "x": rng.normal(0, 1, n), "label": label},
+            name="base",
+        )
+        sat = Table({"id": np.arange(n), "y": rng.normal(0, 1, n)}, name="sat")
+        drg = DatasetRelationGraph.from_constraints(
+            [base, sat], [KFKConstraint("base", "id", "sat", "id")]
+        )
+        result = AutoFeat(drg, config()).augment("base", "label")
+        # Stratified splits keep the rare class; accuracy is defined.
+        assert 0.0 <= result.accuracy <= 1.0
+
+
+class TestDiamondGraphs:
+    def test_diamond_paths_both_explored(self):
+        """base -> {a, b} -> shared: two distinct 2-hop paths."""
+        rng = np.random.default_rng(4)
+        n = 200
+        ids = np.arange(n)
+        ka = rng.permutation(n) + 10_000
+        kb = rng.permutation(n) + 20_000
+        kshared = rng.permutation(n) + 30_000
+        base = Table(
+            {
+                "ka": ka,
+                "kb": kb,
+                "x": rng.normal(0, 1, n),
+                "label": rng.integers(0, 2, n),
+            },
+            name="base",
+        )
+        a = Table({"ka": ka, "ks": kshared, "fa": rng.normal(0, 1, n)}, name="a")
+        b = Table({"kb": kb, "ks": kshared, "fb": rng.normal(0, 1, n)}, name="b")
+        shared = Table({"ks": kshared, "fs": rng.normal(0, 1, n)}, name="shared")
+        drg = DatasetRelationGraph.from_constraints(
+            [base, a, b, shared],
+            [
+                KFKConstraint("base", "ka", "a", "ka"),
+                KFKConstraint("base", "kb", "b", "kb"),
+                KFKConstraint("a", "ks", "shared", "ks"),
+                KFKConstraint("b", "ks", "shared", "ks"),
+            ],
+        )
+        discovery = AutoFeat(drg, config()).discover("base", "label")
+        two_hop_to_shared = [
+            r
+            for r in discovery.ranked_paths
+            if r.path.length == 2 and r.path.terminal == "shared"
+        ]
+        assert len(two_hop_to_shared) == 2  # via a AND via b

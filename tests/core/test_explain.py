@@ -1,0 +1,81 @@
+"""Unit tests for the provenance explain report."""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoFeat, AutoFeatConfig, explain, explain_rows
+from repro.dataframe import Table
+from repro.graph import DatasetRelationGraph, KFKConstraint
+
+
+@pytest.fixture(scope="module")
+def result():
+    rng = np.random.default_rng(7)
+    n = 500
+    ids = np.arange(n)
+    k2 = rng.permutation(n) + 9000
+    k3 = rng.permutation(n) + 50000
+    signal = rng.normal(0, 1, n)
+    label = ((signal + rng.normal(0, 0.4, n)) > 0).astype(int)
+    base = Table(
+        {"id": ids, "k2": k2, "w": rng.normal(0, 1, n), "label": label},
+        name="base",
+    )
+    mid = Table(
+        {"k2": k2, "m": signal * 0.5 + rng.normal(0, 0.6, n), "k3": k3},
+        name="mid",
+    )
+    deep = Table({"k3": k3, "signal": signal}, name="deep")
+    drg = DatasetRelationGraph.from_constraints(
+        [base, mid, deep],
+        [
+            KFKConstraint("base", "k2", "mid", "k2"),
+            KFKConstraint("mid", "k3", "deep", "k3"),
+        ],
+    )
+    return AutoFeat(drg, AutoFeatConfig(sample_size=400, seed=1)).augment(
+        "base", "label"
+    )
+
+
+class TestExplainRows:
+    def test_one_row_per_selected_feature(self, result):
+        rows = explain_rows(result)
+        assert {r["feature"] for r in rows} == set(
+            result.best.ranked.selected_features
+        )
+
+    def test_origin_and_hops(self, result):
+        rows = {r["feature"]: r for r in explain_rows(result)}
+        assert rows["deep.signal"]["origin"] == "deep"
+        assert rows["deep.signal"]["hops"] == 2
+        assert rows["mid.m"]["hops"] == 1
+
+    def test_route_rendered(self, result):
+        rows = {r["feature"]: r for r in explain_rows(result)}
+        assert "mid.k3 -> deep.k3" in rows["deep.signal"]["route"]
+
+    def test_last_hop_scores_attached(self, result):
+        rows = {r["feature"]: r for r in explain_rows(result)}
+        # The winning path's last hop is deep; its feature carries scores.
+        assert rows["deep.signal"]["redundancy"] != ""
+
+    def test_empty_result(self):
+        base = Table(
+            {"x": np.random.default_rng(0).normal(0, 1, 60), "label": [0, 1] * 30},
+            name="base",
+        )
+        drg = DatasetRelationGraph.from_constraints([base], [])
+        empty = AutoFeat(drg, AutoFeatConfig(sample_size=30, seed=0)).augment(
+            "base", "label"
+        )
+        assert explain_rows(empty) == []
+        assert "no features were added" in explain(empty)
+
+
+class TestExplainText:
+    def test_includes_summary_and_table(self, result):
+        text = explain(result)
+        assert "best accuracy" in text
+        assert "feature provenance" in text
+        assert "deep.signal" in text

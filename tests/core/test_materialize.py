@@ -1,0 +1,86 @@
+"""Unit tests for join-path materialisation."""
+
+import pytest
+
+from repro.core import apply_hop, materialize_path, qualified, source_column_name
+from repro.dataframe import Table
+from repro.errors import JoinError
+from repro.graph import DatasetRelationGraph, JoinPath, KFKConstraint
+
+
+@pytest.fixture
+def drg():
+    base = Table({"id": [1, 2, 3], "x": [1.0, 2.0, 3.0]}, name="base")
+    mid = Table({"id": [1, 2], "fk": [10, 20], "m": [5.0, 6.0]}, name="mid")
+    leaf = Table({"fk": [10, 20, 30], "z": [7.0, 8.0, 9.0]}, name="leaf")
+    return DatasetRelationGraph.from_constraints(
+        [base, mid, leaf],
+        [
+            KFKConstraint("base", "id", "mid", "id"),
+            KFKConstraint("mid", "fk", "leaf", "fk"),
+        ],
+    )
+
+
+def path_of(drg, *hops):
+    path = JoinPath("base")
+    for source, target in hops:
+        edge = drg.best_join_options(source, target)[0]
+        path = path.extend(edge)
+    return path
+
+
+class TestHelpers:
+    def test_qualified(self):
+        assert qualified("t", "c") == "t.c"
+
+    def test_source_column_base(self, drg):
+        edge = drg.best_join_options("base", "mid")[0]
+        assert source_column_name(edge, "base") == "id"
+
+    def test_source_column_transitive(self, drg):
+        edge = drg.best_join_options("mid", "leaf")[0]
+        assert source_column_name(edge, "base") == "mid.fk"
+
+
+class TestApplyHop:
+    def test_contributes_qualified_columns(self, drg):
+        edge = drg.best_join_options("base", "mid")[0]
+        joined, contributed = apply_hop(drg.table("base"), drg, edge, "base", 0)
+        assert set(contributed) == {"mid.id", "mid.fk", "mid.m"}
+        assert joined.n_rows == 3
+
+    def test_unmatched_rows_null(self, drg):
+        edge = drg.best_join_options("base", "mid")[0]
+        joined, __ = apply_hop(drg.table("base"), drg, edge, "base", 0)
+        assert joined.column("mid.m").to_list() == [5.0, 6.0, None]
+
+    def test_missing_source_column_raises(self, drg):
+        edge = drg.best_join_options("mid", "leaf")[0]
+        with pytest.raises(JoinError):
+            # base table has no 'mid.fk' column: hop out of order.
+            apply_hop(drg.table("base"), drg, edge, "base", 0)
+
+
+class TestMaterializePath:
+    def test_two_hop_chain(self, drg):
+        path = path_of(drg, ("base", "mid"), ("mid", "leaf"))
+        table, contributions = materialize_path(drg, path, drg.table("base"))
+        assert table.n_rows == 3
+        assert len(contributions) == 2
+        assert "leaf.z" in table
+        # Transitive values flow through: base row 1 -> mid fk 10 -> leaf z 7.
+        assert table.column("leaf.z").to_list() == [7.0, 8.0, None]
+
+    def test_empty_path_returns_base(self, drg):
+        table, contributions = materialize_path(
+            drg, JoinPath("base"), drg.table("base")
+        )
+        assert table is drg.table("base")
+        assert contributions == []
+
+    def test_deterministic(self, drg):
+        path = path_of(drg, ("base", "mid"), ("mid", "leaf"))
+        a, __ = materialize_path(drg, path, drg.table("base"), seed=4)
+        b, __ = materialize_path(drg, path, drg.table("base"), seed=4)
+        assert a == b

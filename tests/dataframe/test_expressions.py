@@ -1,0 +1,128 @@
+"""Unit and property tests for the predicate DSL."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dataframe import Table, col, where
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "age": [10, 20, None, 40, 25],
+            "country": ["nl", "de", "nl", None, "fr"],
+            "score": [1.0, 2.5, 3.0, 4.5, None],
+        },
+        name="people",
+    )
+
+
+class TestComparisons:
+    def test_ge(self, table):
+        assert table.where(col("age") >= 20).column("age").to_list() == [20, 40, 25]
+
+    def test_lt(self, table):
+        assert table.where(col("age") < 20).column("age").to_list() == [10]
+
+    def test_eq(self, table):
+        assert table.where(col("country") == "nl").n_rows == 2
+
+    def test_ne(self, table):
+        # Nulls never satisfy != either (SQL semantics).
+        assert table.where(col("country") != "nl").column("country").to_list() == [
+            "de",
+            "fr",
+        ]
+
+    def test_nulls_never_match_comparisons(self, table):
+        for expr in (col("age") > 0, col("age") < 100, col("age") == 40):
+            out = table.where(expr)
+            assert None not in out.column("age").to_list()
+
+    def test_between(self, table):
+        assert table.where(col("age").between(20, 30)).column("age").to_list() == [
+            20,
+            25,
+        ]
+
+    def test_isin(self, table):
+        assert table.where(col("country").isin(["nl", "fr"])).n_rows == 3
+
+    def test_is_null(self, table):
+        assert table.where(col("age").is_null()).n_rows == 1
+
+    def test_not_null(self, table):
+        assert table.where(col("score").not_null()).n_rows == 4
+
+    def test_type_mismatch_is_false(self, table):
+        # Comparing strings against a number: no match, no crash.
+        assert table.where(col("country") > 5).n_rows == 0
+
+
+class TestCombinators:
+    def test_and(self, table):
+        out = table.where((col("age") >= 20) & (col("country") == "de"))
+        assert out.n_rows == 1
+
+    def test_or(self, table):
+        out = table.where((col("age") == 10) | (col("age") == 40))
+        assert out.n_rows == 2
+
+    def test_not(self, table):
+        out = table.where(~(col("country") == "nl"))
+        assert out.n_rows == 3  # includes the null-country row
+
+    def test_nested(self, table):
+        expr = ((col("age") >= 20) | col("age").is_null()) & col("score").not_null()
+        assert table.where(expr).n_rows == 3
+
+    def test_repr_is_readable(self):
+        expr = (col("a") > 1) & ~(col("b") == "x")
+        assert "AND" in repr(expr)
+        assert "NOT" in repr(expr)
+
+
+class TestFunctionForms:
+    def test_where_function(self, table):
+        assert where(table, col("age") >= 20) == table.where(col("age") >= 20)
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(SchemaError):
+            table.where(col("zzz") > 1)
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.integers(min_value=-50, max_value=50)),
+            min_size=1,
+            max_size=50,
+        ),
+        st.integers(min_value=-50, max_value=50),
+    )
+    def test_partition_by_threshold(self, values, threshold):
+        """where(x > t), where(x <= t) and where(is_null) partition the rows."""
+        t = Table({"x": values}, name="t")
+        above = t.where(col("x") > threshold).n_rows
+        below = t.where(col("x") <= threshold).n_rows
+        nulls = t.where(col("x").is_null()).n_rows
+        assert above + below + nulls == t.n_rows
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.integers(min_value=-20, max_value=20)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_demorgan(self, values):
+        t = Table({"x": values}, name="t")
+        a = col("x") > 0
+        b = col("x") < 10
+        lhs = t.where(~(a & b))
+        rhs = t.where(~a | ~b)
+        assert lhs == rhs

@@ -1,0 +1,108 @@
+"""Unit tests for sampling and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Table, random_sample, stratified_sample, train_test_split_indices
+from repro.errors import SchemaError
+
+
+def make_table(n=100, pos_fraction=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    label = (rng.random(n) < pos_fraction).astype(int)
+    return Table({"x": rng.normal(size=n), "label": label}, name="t")
+
+
+class TestRandomSample:
+    def test_size(self):
+        assert random_sample(make_table(), 10).n_rows == 10
+
+    def test_caps_at_table_size(self):
+        assert random_sample(make_table(20), 100).n_rows == 20
+
+    def test_deterministic(self):
+        t = make_table()
+        assert random_sample(t, 10, seed=1) == random_sample(t, 10, seed=1)
+
+    def test_negative_raises(self):
+        with pytest.raises(SchemaError):
+            random_sample(make_table(), -1)
+
+    def test_no_duplicate_rows(self):
+        t = Table({"i": list(range(50))}, name="t")
+        out = random_sample(t, 30, seed=2)
+        values = out.column("i").to_list()
+        assert len(values) == len(set(values))
+
+
+class TestStratifiedSample:
+    def test_preserves_class_ratio(self):
+        t = make_table(1000, pos_fraction=0.2, seed=1)
+        out = stratified_sample(t, "label", 200, seed=1)
+        ratio = np.mean(out.column("label").to_list())
+        assert ratio == pytest.approx(0.2, abs=0.05)
+
+    def test_returns_full_table_when_n_large(self):
+        t = make_table(50)
+        assert stratified_sample(t, "label", 500) is t
+
+    def test_rare_class_kept(self):
+        label = [0] * 99 + [1]
+        t = Table({"x": list(range(100)), "label": label}, name="t")
+        out = stratified_sample(t, "label", 10, seed=0)
+        assert 1 in out.column("label").to_list()
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(SchemaError):
+            stratified_sample(make_table(), "label", 0)
+
+    def test_all_null_labels_raise(self):
+        t = Table({"x": [1, 2], "label": [None, None]}, name="t")
+        with pytest.raises(SchemaError):
+            stratified_sample(t, "label", 1)
+
+    def test_deterministic(self):
+        t = make_table(500)
+        a = stratified_sample(t, "label", 100, seed=5)
+        b = stratified_sample(t, "label", 100, seed=5)
+        assert a == b
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        y = np.array([0, 1] * 50)
+        train, test = train_test_split_indices(100, y, 0.2, seed=0)
+        assert len(train) + len(test) == 100
+        assert set(train).isdisjoint(test)
+
+    def test_fraction(self):
+        y = np.array([0, 1] * 500)
+        train, test = train_test_split_indices(1000, y, 0.2, seed=0)
+        assert len(test) == pytest.approx(200, abs=5)
+
+    def test_stratified(self):
+        y = np.array([0] * 900 + [1] * 100)
+        __, test = train_test_split_indices(1000, y, 0.2, seed=0)
+        test_pos = np.sum(y[test] == 1)
+        assert test_pos == pytest.approx(20, abs=3)
+
+    def test_every_class_in_test_when_possible(self):
+        y = np.array([0] * 96 + [1] * 4)
+        __, test = train_test_split_indices(100, y, 0.2, seed=0)
+        assert 1 in y[test]
+
+    def test_singleton_class_stays_in_train(self):
+        y = np.array([0] * 99 + [1])
+        train, test = train_test_split_indices(100, y, 0.2, seed=0)
+        assert 1 in y[train]
+        assert 1 not in y[test]
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(SchemaError):
+            train_test_split_indices(10, np.zeros(10), 1.5)
+
+    def test_deterministic(self):
+        y = np.array([0, 1] * 50)
+        a = train_test_split_indices(100, y, 0.2, seed=9)
+        b = train_test_split_indices(100, y, 0.2, seed=9)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])

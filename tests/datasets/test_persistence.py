@@ -1,0 +1,77 @@
+"""Unit tests for lake persistence (CSV directory + manifest)."""
+
+import json
+
+import pytest
+
+from repro.datasets import (
+    MANIFEST_NAME,
+    benchmark_drg,
+    build_dataset,
+    load_lake,
+    load_lake_tables,
+    save_lake,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_dataset("credit")
+
+
+@pytest.fixture
+def saved(bundle, tmp_path):
+    return save_lake(bundle, tmp_path / "lake")
+
+
+class TestSave:
+    def test_writes_csv_per_table(self, bundle, saved):
+        csvs = sorted(p.name for p in saved.glob("*.csv"))
+        assert len(csvs) == bundle.n_tables
+
+    def test_writes_manifest(self, saved):
+        manifest = json.loads((saved / MANIFEST_NAME).read_text())
+        assert manifest["base_table"] == "credit_base"
+        assert manifest["label_column"] == "label"
+        assert len(manifest["constraints"]) == 5
+
+
+class TestLoad:
+    def test_faithful_roundtrip(self, bundle, saved):
+        restored = load_lake(saved)
+        assert restored.base_name == bundle.base_name
+        assert restored.constraints == bundle.constraints
+        assert restored.depths == bundle.depths
+        for original, back in zip(bundle.tables, restored.tables):
+            assert original == back, original.name
+
+    def test_restored_lake_builds_drg(self, bundle, saved):
+        restored = load_lake(saved)
+        drg = benchmark_drg(restored)
+        assert drg.n_relationships == len(bundle.constraints)
+
+    def test_tables_only_mode(self, bundle, saved):
+        tables = load_lake_tables(saved)
+        assert {t.name for t in tables} == {t.name for t in bundle.tables}
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(DatasetError, match="manifest"):
+            load_lake(tmp_path)
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(DatasetError, match="corrupt"):
+            load_lake(tmp_path)
+
+    def test_missing_table_file_raises(self, saved):
+        (saved / "credit_t00.csv").unlink()
+        with pytest.raises(DatasetError, match="missing"):
+            load_lake(saved)
+
+    def test_version_check(self, saved):
+        manifest = json.loads((saved / MANIFEST_NAME).read_text())
+        manifest["version"] = 99
+        (saved / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(DatasetError, match="version"):
+            load_lake(saved)

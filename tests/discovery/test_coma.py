@@ -1,0 +1,106 @@
+"""Unit tests for the COMA-style composite matcher."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Table
+from repro.discovery import ComaMatcher
+from repro.errors import DiscoveryError
+
+
+@pytest.fixture
+def tables():
+    rng = np.random.default_rng(0)
+    n = 200
+    ids = np.arange(n)
+    left = Table(
+        {
+            "applicant_id": ids,
+            "income": rng.normal(50, 10, n),
+            "region": rng.integers(0, 8, n),
+        },
+        name="applicants",
+    )
+    right = Table(
+        {
+            "applicant_id": ids,
+            "credit_score": rng.normal(600, 40, n),
+            # Partially overlapping category domain: a *spurious* but not
+            # perfect match, the regime the lake generators produce.
+            "region": rng.integers(4, 12, n),
+        },
+        name="credit",
+    )
+    return left, right
+
+
+class TestMatching:
+    def test_true_key_pair_scores_high(self, tables):
+        matches = ComaMatcher().match(*tables)
+        best = matches[0]
+        assert (best.column_a, best.column_b) == ("applicant_id", "applicant_id")
+        assert best.score > 0.8
+
+    def test_spurious_category_pair_found_but_lower(self, tables):
+        matches = {(m.column_a, m.column_b): m.score for m in ComaMatcher().match(*tables)}
+        assert ("region", "region") in matches
+        assert matches[("region", "region")] < matches[("applicant_id", "applicant_id")]
+
+    def test_continuous_features_not_matched(self, tables):
+        matches = ComaMatcher().match(*tables)
+        columns = {m.column_a for m in matches} | {m.column_b for m in matches}
+        assert "income" not in columns
+        assert "credit_score" not in columns
+
+    def test_key_like_gating_can_be_disabled(self, tables):
+        matches = ComaMatcher(key_like_only=False, min_score=0.01).match(*tables)
+        columns = {m.column_a for m in matches}
+        assert "income" in columns
+
+    def test_sorted_by_score(self, tables):
+        scores = [m.score for m in ComaMatcher().match(*tables)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_min_score_floor(self, tables):
+        matches = ComaMatcher(min_score=0.99).match(*tables)
+        assert all(m.score >= 0.99 for m in matches)
+
+    def test_renamed_key_still_found_via_tokens_and_values(self):
+        n = 150
+        ids = list(range(n))
+        a = Table({"credit_ref": ids, "x": np.random.default_rng(0).normal(size=n)}, name="a")
+        b = Table({"credit_key": ids, "y": np.random.default_rng(1).normal(size=n)}, name="b")
+        matches = ComaMatcher().match(a, b)
+        assert matches
+        assert matches[0].column_a == "credit_ref"
+        assert matches[0].column_b == "credit_key"
+        assert matches[0].score >= 0.55
+
+    def test_matcher_protocol_yields_tuples(self, tables):
+        matcher = ComaMatcher()
+        tuples = list(matcher(*tables))
+        assert all(len(t) == 3 for t in tuples)
+
+    def test_profile_cache_reused(self, tables):
+        matcher = ComaMatcher()
+        matcher.match(*tables)
+        cached = len(matcher._profile_cache)
+        matcher.match(*tables)
+        assert len(matcher._profile_cache) == cached
+
+    def test_invalid_weights_raise(self):
+        with pytest.raises(DiscoveryError):
+            ComaMatcher(name_weight=0.0, instance_weight=0.0)
+
+
+class TestScoreComposition:
+    def test_name_and_instance_recorded(self, tables):
+        match = ComaMatcher().match(*tables)[0]
+        assert 0.0 <= match.name_score <= 1.0
+        assert 0.0 <= match.instance_score <= 1.0
+
+    def test_score_is_convex_combination(self, tables):
+        matcher = ComaMatcher(name_weight=0.6, instance_weight=0.4)
+        for match in matcher.match(*tables):
+            expected = 0.6 * match.name_score + 0.4 * match.instance_score
+            assert match.score == pytest.approx(expected, abs=1e-4)

@@ -1,0 +1,141 @@
+"""Unit tests for the Lazo-style LSH matcher and the distribution matcher."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Column, Table
+from repro.discovery import (
+    DistributionMatcher,
+    LazoMatcher,
+    QuantileSketch,
+    estimate_containment,
+    quantile_similarity,
+)
+from repro.errors import DiscoveryError
+from repro.graph import DatasetRelationGraph
+
+
+@pytest.fixture(scope="module")
+def tables():
+    rng = np.random.default_rng(0)
+    n = 400
+    ids = np.arange(n)
+    left = Table(
+        {"user_id": ids, "score": rng.normal(50, 10, n)}, name="left"
+    )
+    right = Table(
+        {"uid": ids, "other": rng.integers(10_000, 20_000, n)}, name="right"
+    )
+    return left, right
+
+
+class TestEstimateContainment:
+    def test_identical_sets(self):
+        assert estimate_containment(1.0, 100, 100) == 1.0
+
+    def test_zero_jaccard(self):
+        assert estimate_containment(0.0, 100, 100) == 0.0
+
+    def test_small_in_large(self):
+        # |A|=10 fully inside |B|=1000: J = 10/1000 = 0.01.
+        assert estimate_containment(0.01, 10, 1000) == pytest.approx(1.0, abs=0.05)
+
+    def test_clipped_at_one(self):
+        assert estimate_containment(0.9, 50, 50) <= 1.0
+
+    def test_empty_sets(self):
+        assert estimate_containment(0.5, 0, 10) == 0.0
+
+
+class TestLazoMatcher:
+    def test_finds_shared_key(self, tables):
+        matches = LazoMatcher().match(*tables)
+        assert matches
+        assert matches[0][:2] == ("user_id", "uid")
+        assert matches[0][2] > 0.9
+
+    def test_disjoint_columns_not_matched(self, tables):
+        left, right = tables
+        matches = LazoMatcher().match(left, right)
+        matched_pairs = {(a, b) for a, b, __ in matches}
+        assert ("score", "other") not in matched_pairs
+
+    def test_candidates_subquadratic_bucketing(self, tables):
+        left, right = tables
+        matcher = LazoMatcher()
+        pairs = matcher.candidates(
+            matcher._profiles(left), matcher._profiles(right)
+        )
+        # Only colliding signatures become candidates — not all 4 pairs.
+        assert len(pairs) < left.n_cols * right.n_cols
+
+    def test_invalid_banding_raises(self):
+        with pytest.raises(DiscoveryError):
+            LazoMatcher(bands=1000, rows_per_band=1000)
+        with pytest.raises(DiscoveryError):
+            LazoMatcher(bands=0)
+
+    def test_usable_as_drg_matcher(self, tables):
+        drg = DatasetRelationGraph.from_discovery(
+            list(tables), LazoMatcher(), threshold=0.55
+        )
+        assert drg.n_relationships >= 1
+
+    def test_deterministic(self, tables):
+        assert LazoMatcher().match(*tables) == LazoMatcher().match(*tables)
+
+
+class TestQuantileSketch:
+    def test_similar_shapes_score_high(self):
+        rng = np.random.default_rng(1)
+        a = QuantileSketch(rng.normal(0, 1, 2000))
+        b = QuantileSketch(rng.normal(100, 50, 2000))  # same shape, shifted
+        assert quantile_similarity(a, b) > 0.9
+
+    def test_different_shapes_score_lower(self):
+        rng = np.random.default_rng(2)
+        gaussian = QuantileSketch(rng.normal(0, 1, 2000))
+        skewed = QuantileSketch(rng.exponential(1.0, 2000) ** 2)
+        uniform_vs_gauss = quantile_similarity(gaussian, skewed)
+        gauss_vs_gauss = quantile_similarity(
+            gaussian, QuantileSketch(rng.normal(5, 2, 2000))
+        )
+        assert gauss_vs_gauss > uniform_vs_gauss
+
+    def test_empty_column_scores_zero(self):
+        empty = QuantileSketch(np.array([np.nan, np.nan]))
+        other = QuantileSketch(np.arange(10, dtype=float))
+        assert quantile_similarity(empty, other) == 0.0
+
+    def test_of_column_rejects_strings(self):
+        with pytest.raises(DiscoveryError):
+            QuantileSketch.of_column(Column(["a", "b"]))
+
+
+class TestDistributionMatcher:
+    def test_renamed_scaled_copy_found(self):
+        rng = np.random.default_rng(3)
+        n = 500
+        values = rng.normal(50, 10, n)
+        a = Table({"height_cm": values}, name="a")
+        b = Table({"height_mm": values * 10}, name="b")  # unit-scaled copy
+        matches = DistributionMatcher().match(a, b)
+        assert matches
+        assert matches[0][:2] == ("height_cm", "height_mm")
+
+    def test_string_columns_ignored(self):
+        a = Table({"s": ["x", "y"]}, name="a")
+        b = Table({"t": ["x", "y"]}, name="b")
+        assert DistributionMatcher().match(a, b) == []
+
+    def test_score_bounded(self, tables):
+        matcher = DistributionMatcher(min_score=0.0)
+        for __, __, score in matcher.match(*tables):
+            assert 0.0 <= score <= 1.0
+
+    def test_usable_as_drg_matcher(self, tables):
+        drg = DatasetRelationGraph.from_discovery(
+            list(tables), DistributionMatcher(), threshold=0.55
+        )
+        # Weak evidence: may or may not clear 0.55, but must not crash.
+        assert drg.n_tables == 2

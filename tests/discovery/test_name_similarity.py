@@ -1,0 +1,123 @@
+"""Unit tests for name-based similarity measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.discovery import (
+    jaro_winkler_similarity,
+    levenshtein_similarity,
+    ngram_similarity,
+    token_similarity,
+    tokenize_identifier,
+)
+
+identifiers = st.text(alphabet="abcdefgh_XYZ0123", min_size=0, max_size=12)
+
+ALL_MEASURES = [
+    levenshtein_similarity,
+    jaro_winkler_similarity,
+    ngram_similarity,
+    token_similarity,
+]
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_similarity("credit", "credit") == 1.0
+
+    def test_known_distance(self):
+        # kitten -> sitting: distance 3, max length 7.
+        assert levenshtein_similarity("kitten", "sitting") == pytest.approx(1 - 3 / 7)
+
+    def test_empty_vs_nonempty(self):
+        assert levenshtein_similarity("", "abc") == 0.0
+
+    def test_disjoint_strings_low(self):
+        assert levenshtein_similarity("aaaa", "zzzz") == 0.0
+
+
+class TestJaroWinkler:
+    def test_identical(self):
+        assert jaro_winkler_similarity("abc", "abc") == 1.0
+
+    def test_prefix_bonus(self):
+        with_prefix = jaro_winkler_similarity("credit_id", "credit_no")
+        swapped = jaro_winkler_similarity("id_credit", "no_credit")
+        assert with_prefix > swapped
+
+    def test_known_value(self):
+        # Classic example: MARTHA vs MARHTA = 0.961.
+        assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(
+            0.961, abs=0.001
+        )
+
+    def test_no_match(self):
+        assert jaro_winkler_similarity("ab", "xy") == 0.0
+
+
+class TestNgram:
+    def test_identical(self):
+        assert ngram_similarity("abc", "abc") == 1.0
+
+    def test_case_insensitive(self):
+        assert ngram_similarity("ABC", "abc") == 1.0
+
+    def test_shared_substring_scores(self):
+        assert ngram_similarity("credit_score", "credit_id") > 0.2
+
+    def test_empty(self):
+        assert ngram_similarity("", "abc") == 0.0
+
+
+class TestTokenize:
+    def test_snake_case(self):
+        assert tokenize_identifier("credit_id") == ["credit", "id"]
+
+    def test_camel_case(self):
+        assert tokenize_identifier("applicantID") == ["applicant", "id"]
+
+    def test_mixed(self):
+        assert tokenize_identifier("loanHistory_key-2") == [
+            "loan",
+            "history",
+            "key",
+            "2",
+        ]
+
+    def test_empty(self):
+        assert tokenize_identifier("") == []
+
+
+class TestTokenSimilarity:
+    def test_reordered_tokens_match(self):
+        assert token_similarity("id_credit", "credit_id") == 1.0
+
+    def test_convention_insensitive(self):
+        assert token_similarity("credit_id", "CreditId") == 1.0
+
+    def test_partial_overlap(self):
+        assert token_similarity("credit_key", "credit_ref") == pytest.approx(1 / 3)
+
+    def test_disjoint(self):
+        assert token_similarity("alpha", "beta") == 0.0
+
+
+class TestProperties:
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    @given(a=identifiers, b=identifiers)
+    def test_bounded_and_symmetric_enough(self, measure, a, b):
+        score = measure(a, b)
+        assert 0.0 <= score <= 1.0
+
+    @pytest.mark.parametrize(
+        "measure", [levenshtein_similarity, ngram_similarity, token_similarity]
+    )
+    @given(a=identifiers, b=identifiers)
+    def test_symmetry(self, measure, a, b):
+        assert measure(a, b) == pytest.approx(measure(b, a))
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    @given(a=identifiers)
+    def test_identity(self, measure, a):
+        assert measure(a, a) == 1.0

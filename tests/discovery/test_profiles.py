@@ -1,0 +1,70 @@
+"""Unit tests for column profiling."""
+
+import numpy as np
+
+from repro.dataframe import Column, Table
+from repro.discovery import profile_column, profile_table
+from repro.discovery.profiles import MINHASH_PERMUTATIONS, SKETCH_SIZE
+
+
+class TestProfileColumn:
+    def test_basic_stats(self):
+        profile = profile_column(Column([1, 2, 2, None]), "t", "c")
+        assert profile.n_rows == 4
+        assert profile.n_distinct == 2
+        assert profile.null_ratio == 0.25
+
+    def test_sketch_normalises_values(self):
+        profile = profile_column(Column([1, 2]), "t", "c")
+        assert profile.sketch == {"1", "2"}
+
+    def test_float_ints_normalise_like_ints(self):
+        a = profile_column(Column([1.0, 2.0]), "t", "a")
+        b = profile_column(Column([1, 2]), "t", "b")
+        assert a.sketch == b.sketch
+
+    def test_strings_lowercased(self):
+        profile = profile_column(Column(["Foo", " BAR "]), "t", "c")
+        assert profile.sketch == {"foo", "bar"}
+
+    def test_sketch_bounded(self):
+        profile = profile_column(Column(list(range(10000))), "t", "c")
+        assert len(profile.sketch) <= SKETCH_SIZE
+
+    def test_numeric_range(self):
+        profile = profile_column(Column([5.0, -2.0, 3.0]), "t", "c")
+        assert profile.numeric_min == -2.0
+        assert profile.numeric_max == 5.0
+
+    def test_string_column_no_range(self):
+        profile = profile_column(Column(["a"]), "t", "c")
+        assert profile.numeric_min is None
+
+    def test_minhash_shape(self):
+        profile = profile_column(Column([1, 2, 3]), "t", "c")
+        assert profile.minhash.shape == (MINHASH_PERMUTATIONS,)
+
+    def test_minhash_deterministic_across_calls(self):
+        a = profile_column(Column([1, 2, 3]), "t", "a")
+        b = profile_column(Column([3, 2, 1]), "t", "b")
+        assert np.array_equal(a.minhash, b.minhash)
+
+    def test_uniqueness_key_like(self):
+        profile = profile_column(Column(list(range(100))), "t", "c")
+        assert profile.uniqueness == 1.0
+
+    def test_uniqueness_all_null(self):
+        profile = profile_column(Column([None, None]), "t", "c")
+        assert profile.uniqueness == 0.0
+
+
+class TestProfileTable:
+    def test_profiles_all_columns(self):
+        t = Table({"a": [1], "b": ["x"]}, name="demo")
+        profiles = profile_table(t)
+        assert profiles.table_name == "demo"
+        assert [c.column_name for c in profiles.columns] == ["a", "b"]
+
+    def test_column_lookup(self):
+        t = Table({"a": [1]}, name="demo")
+        assert profile_table(t).column("a").column_name == "a"

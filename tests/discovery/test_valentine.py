@@ -1,0 +1,67 @@
+"""Unit tests for the Valentine-style matcher harness."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Table
+from repro.discovery import ComaMatcher, evaluate_matches, run_matcher
+from repro.errors import DiscoveryError
+
+
+@pytest.fixture
+def lake():
+    rng = np.random.default_rng(2)
+    n = 150
+    ids = np.arange(n)
+    fks = np.arange(n) + 5000
+    base = Table({"id": ids, "fk": fks, "x": rng.normal(size=n)}, name="base")
+    child = Table({"id": ids, "y": rng.normal(size=n)}, name="child")
+    grand = Table({"fk": fks, "z": rng.normal(size=n)}, name="grand")
+    return [base, child, grand]
+
+
+class TestRunMatcher:
+    def test_finds_true_edges(self, lake):
+        matches = run_matcher(lake, ComaMatcher(), threshold=0.55)
+        pairs = {
+            (m.table_a, m.column_a, m.table_b, m.column_b) for m in matches
+        }
+        assert ("base", "id", "child", "id") in pairs
+        assert ("base", "fk", "grand", "fk") in pairs
+
+    def test_threshold_respected(self, lake):
+        matches = run_matcher(lake, threshold=0.99)
+        assert all(m.score >= 0.99 for m in matches)
+
+    def test_duplicate_table_names_raise(self, lake):
+        with pytest.raises(DiscoveryError):
+            run_matcher([lake[0], lake[0]])
+
+
+class TestEvaluateMatches:
+    def test_perfect_recall(self, lake):
+        matches = run_matcher(lake, threshold=0.55)
+        truth = [("base", "id", "child", "id"), ("base", "fk", "grand", "fk")]
+        report = evaluate_matches(matches, truth)
+        assert report.recall == 1.0
+        assert report.true_positives == 2
+
+    def test_direction_insensitive(self, lake):
+        matches = run_matcher(lake, threshold=0.55)
+        truth = [("child", "id", "base", "id")]  # reversed direction
+        assert evaluate_matches(matches, truth).recall == 1.0
+
+    def test_empty_matches(self):
+        report = evaluate_matches([], [("a", "x", "b", "y")])
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+    def test_f1_formula(self, lake):
+        matches = run_matcher(lake, threshold=0.55)
+        truth = [("base", "id", "child", "id"), ("base", "fk", "grand", "fk")]
+        report = evaluate_matches(matches, truth)
+        expected = (
+            2 * report.precision * report.recall / (report.precision + report.recall)
+        )
+        assert report.f1 == pytest.approx(expected)

@@ -1,0 +1,148 @@
+"""Unit tests for the tabular encoder and the AutoML wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Table
+from repro.errors import ModelError
+from repro.ml import (
+    MODEL_REGISTRY,
+    NON_TREE_MODELS,
+    TREE_MODELS,
+    AutoTabularPredictor,
+    TabularEncoder,
+    encode_labels,
+    evaluate_accuracy,
+)
+
+
+@pytest.fixture
+def table():
+    rng = np.random.default_rng(0)
+    n = 300
+    signal = rng.normal(0, 1, n)
+    return Table(
+        {
+            "num": signal,
+            "with_nulls": np.where(rng.random(n) < 0.1, np.nan, signal),
+            "cat": [["red", "green", "blue"][i % 3] for i in range(n)],
+            "label": (signal > 0).astype(int),
+        },
+        name="t",
+    )
+
+
+class TestEncodeLabels:
+    def test_contiguous_codes(self):
+        encoded, classes = encode_labels(np.array(["b", "a", "b"], dtype=object))
+        assert classes == ["a", "b"]
+        assert list(encoded) == [1, 0, 1]
+
+    def test_numeric_labels(self):
+        encoded, classes = encode_labels(np.array([5, 2, 5], dtype=object))
+        assert classes == [2, 5]
+        assert list(encoded) == [1, 0, 1]
+
+
+class TestTabularEncoder:
+    def test_output_finite(self, table):
+        X = TabularEncoder().fit_transform(table, ["num", "with_nulls", "cat"])
+        assert np.isfinite(X).all()
+
+    def test_string_encoding_deterministic(self, table):
+        a = TabularEncoder().fit_transform(table, ["cat"])
+        b = TabularEncoder().fit_transform(table, ["cat"])
+        assert np.array_equal(a, b)
+
+    def test_transform_consistent_on_new_rows(self, table):
+        encoder = TabularEncoder().fit(table, ["cat"])
+        head = table.head(10)
+        X = encoder.transform(head)
+        assert X.shape == (10, 1)
+
+    def test_unseen_category_gets_new_code(self, table):
+        encoder = TabularEncoder().fit(table, ["cat"])
+        novel = Table({"cat": ["violet"]}, name="n")
+        X = encoder.transform(novel)
+        assert X[0, 0] == 3.0  # one past the 3 known categories
+
+    def test_null_imputed_with_train_median(self):
+        train = Table({"a": [1.0, 2.0, 3.0]}, name="train")
+        encoder = TabularEncoder().fit(train, ["a"])
+        test = Table({"a": [None]}, name="test")
+        assert encoder.transform(test)[0, 0] == 2.0
+
+    def test_unfitted_raises(self, table):
+        with pytest.raises(ModelError):
+            TabularEncoder().transform(table)
+
+    def test_zero_features_raise(self, table):
+        with pytest.raises(ModelError):
+            TabularEncoder().fit(table, [])
+
+    def test_feature_names_property(self, table):
+        encoder = TabularEncoder().fit(table, ["num"])
+        assert encoder.feature_names == ["num"]
+
+
+class TestAutoTabularPredictor:
+    def test_registry_covers_paper_models(self):
+        assert set(TREE_MODELS) <= set(MODEL_REGISTRY)
+        assert set(NON_TREE_MODELS) <= set(MODEL_REGISTRY)
+        assert len(MODEL_REGISTRY) == 6
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ModelError):
+            AutoTabularPredictor("catboost")
+
+    def test_evaluate_returns_result(self, table):
+        result = AutoTabularPredictor("lightgbm", seed=0).evaluate(table, "label")
+        assert 0.5 < result.accuracy <= 1.0
+        assert result.n_train + result.n_test == table.n_rows
+        assert result.n_features == 3
+
+    def test_feature_subset_used(self, table):
+        result = AutoTabularPredictor("lightgbm", seed=0).evaluate(
+            table, "label", feature_names=["num"]
+        )
+        assert result.feature_names == ("num",)
+
+    def test_label_excluded_from_features(self, table):
+        result = AutoTabularPredictor("lightgbm", seed=0).evaluate(
+            table, "label", feature_names=["num", "label"]
+        )
+        assert "label" not in result.feature_names
+
+    def test_missing_label_raises(self, table):
+        with pytest.raises(ModelError):
+            AutoTabularPredictor().evaluate(table, "nope")
+
+    def test_null_labels_raise(self):
+        t = Table({"x": [1.0, 2.0], "label": [0, None]}, name="t")
+        with pytest.raises(ModelError):
+            AutoTabularPredictor().evaluate(t, "label")
+
+    def test_fit_predict_roundtrip(self, table):
+        predictor = AutoTabularPredictor("lightgbm", seed=0).fit(table, "label")
+        predictions = predictor.predict(table.head(20))
+        assert len(predictions) == 20
+        assert set(predictions) <= {0, 1}
+
+    def test_predict_before_fit_raises(self, table):
+        with pytest.raises(ModelError):
+            AutoTabularPredictor().predict(table)
+
+    def test_no_features_raises(self):
+        t = Table({"label": [0, 1]}, name="t")
+        with pytest.raises(ModelError):
+            AutoTabularPredictor().evaluate(t, "label")
+
+    @pytest.mark.parametrize("model", sorted(MODEL_REGISTRY))
+    def test_every_model_beats_chance(self, model, table):
+        acc = evaluate_accuracy(table, "label", model, seed=0)
+        assert acc > 0.7
+
+    def test_deterministic_given_seed(self, table):
+        a = evaluate_accuracy(table, "label", "lightgbm", seed=3)
+        b = evaluate_accuracy(table, "label", "lightgbm", seed=3)
+        assert a == b

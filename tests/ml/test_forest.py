@@ -1,0 +1,81 @@
+"""Unit tests for the forest ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml import ExtraTreesClassifier, RandomForestClassifier
+
+
+def make_data(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n, 4))
+    y = ((X[:, 0] + X[:, 1]) > 0).astype(np.int64)
+    return X, y
+
+
+@pytest.mark.parametrize("cls", [RandomForestClassifier, ExtraTreesClassifier])
+class TestForests:
+    def test_learns_signal(self, cls):
+        X, y = make_data()
+        model = cls(n_estimators=20, seed=0).fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.85
+
+    def test_proba_normalised(self, cls):
+        X, y = make_data()
+        proba = cls(n_estimators=10, seed=0).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_deterministic_per_seed(self, cls):
+        X, y = make_data()
+        a = cls(n_estimators=8, seed=5).fit(X, y).predict(X)
+        b = cls(n_estimators=8, seed=5).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_model(self, cls):
+        X, y = make_data()
+        a = cls(n_estimators=8, seed=1).fit(X, y).predict_proba(X)
+        b = cls(n_estimators=8, seed=2).fit(X, y).predict_proba(X)
+        assert not np.allclose(a, b)
+
+    def test_unfitted_raises(self, cls):
+        with pytest.raises(ModelError):
+            cls().predict(np.zeros((1, 4)))
+
+    def test_invalid_estimators_raise(self, cls):
+        with pytest.raises(ModelError):
+            cls(n_estimators=0)
+
+    def test_feature_importances(self, cls):
+        X, y = make_data()
+        model = cls(n_estimators=15, seed=0).fit(X, y)
+        importances = model.feature_importances_
+        assert importances.shape == (4,)
+        # Signal features (0, 1) dominate the noise features (2, 3).
+        assert importances[:2].sum() > importances[2:].sum()
+
+    def test_multiclass_rare_class_survives_bootstrap(self, cls):
+        rng = np.random.default_rng(3)
+        X = rng.normal(0, 1, (120, 2))
+        y = np.zeros(120, dtype=np.int64)
+        y[X[:, 0] > 0.5] = 1
+        y[:3] = 2  # very rare class
+        model = cls(n_estimators=10, seed=0).fit(X, y)
+        assert model.predict_proba(X).shape == (120, 3)
+
+
+class TestEnsembleBenefit:
+    def test_forest_beats_single_noisy_tree_on_holdout(self):
+        rng = np.random.default_rng(7)
+        n = 600
+        X = rng.normal(0, 1, (n, 8))
+        y = ((X[:, 0] + 0.8 * X[:, 1] + rng.normal(0, 0.8, n)) > 0).astype(int)
+        X_train, X_test = X[:400], X[400:]
+        y_train, y_test = y[:400], y[400:]
+        forest = RandomForestClassifier(n_estimators=40, seed=0).fit(X_train, y_train)
+        from repro.ml import DecisionTreeClassifier
+
+        tree = DecisionTreeClassifier(max_depth=12).fit(X_train, y_train)
+        forest_acc = np.mean(forest.predict(X_test) == y_test)
+        tree_acc = np.mean(tree.predict(X_test) == y_test)
+        assert forest_acc >= tree_acc - 0.02

@@ -1,0 +1,83 @@
+"""Property-based tests on the ML substrate's behavioural contracts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    KNeighborsClassifier,
+    LightGBMClassifier,
+    LogisticRegressionL1,
+    RandomForestClassifier,
+)
+
+MODELS = [
+    lambda: DecisionTreeClassifier(max_depth=4),
+    lambda: RandomForestClassifier(n_estimators=5, max_depth=4, seed=0),
+    lambda: LightGBMClassifier(n_estimators=5),
+    lambda: KNeighborsClassifier(3),
+    lambda: LogisticRegressionL1(max_iter=50),
+]
+
+
+@st.composite
+def small_problem(draw):
+    n = draw(st.integers(min_value=12, max_value=60))
+    d = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=999))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n, d))
+    y = rng.integers(0, 2, n)
+    y[0], y[1] = 0, 1  # guarantee both classes exist
+    return X, y.astype(np.int64)
+
+
+@pytest.mark.parametrize("factory", MODELS)
+@given(problem=small_problem())
+@settings(max_examples=15, deadline=None)
+def test_predict_proba_is_distribution(factory, problem):
+    X, y = problem
+    model = factory()
+    model.fit(X, y)
+    proba = model.predict_proba(X)
+    assert proba.shape == (len(y), 2)
+    assert (proba >= -1e-9).all()
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+
+@pytest.mark.parametrize("factory", MODELS)
+@given(problem=small_problem())
+@settings(max_examples=10, deadline=None)
+def test_predict_consistent_with_proba(factory, problem):
+    X, y = problem
+    model = factory()
+    model.fit(X, y)
+    proba = model.predict_proba(X)
+    hard = model.predict(X)
+    # Predicted class always has maximal probability (ties tolerated).
+    chosen = proba[np.arange(len(hard)), hard]
+    assert (chosen >= proba.max(axis=1) - 1e-9).all()
+
+
+@pytest.mark.parametrize("factory", MODELS)
+@given(problem=small_problem())
+@settings(max_examples=10, deadline=None)
+def test_refit_is_deterministic(factory, problem):
+    X, y = problem
+    a = factory()
+    b = factory()
+    a.fit(X, y)
+    b.fit(X, y)
+    assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+
+@given(problem=small_problem(), shift=st.floats(min_value=-5, max_value=5))
+@settings(max_examples=15, deadline=None)
+def test_tree_invariant_to_feature_shift(problem, shift):
+    """CART splits depend only on value order; shifting features is a no-op."""
+    X, y = problem
+    base = DecisionTreeClassifier(max_depth=4).fit(X, y).predict(X)
+    shifted = DecisionTreeClassifier(max_depth=4).fit(X + shift, y).predict(X + shift)
+    assert np.array_equal(base, shifted)

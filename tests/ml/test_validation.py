@@ -1,0 +1,91 @@
+"""Unit tests for cross-validation and AUC evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Table
+from repro.errors import ModelError
+from repro.ml import cross_validate, evaluate_auc
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    n = 400
+    signal = rng.normal(0, 1, n)
+    return Table(
+        {
+            "signal": signal,
+            "noise": rng.normal(0, 1, n),
+            "label": (signal + rng.normal(0, 0.5, n) > 0).astype(int),
+        },
+        name="t",
+    )
+
+
+class TestCrossValidate:
+    def test_fold_count(self, table):
+        result = cross_validate(table, "label", n_folds=4, seed=0)
+        assert result.n_folds == 4
+
+    def test_learns_signal(self, table):
+        result = cross_validate(table, "label", n_folds=3, seed=0)
+        assert result.mean > 0.75
+
+    def test_std_computed(self, table):
+        result = cross_validate(table, "label", n_folds=3, seed=0)
+        assert result.std >= 0.0
+
+    def test_deterministic(self, table):
+        a = cross_validate(table, "label", n_folds=3, seed=7)
+        b = cross_validate(table, "label", n_folds=3, seed=7)
+        assert a.fold_accuracies == b.fold_accuracies
+
+    def test_feature_subset(self, table):
+        full = cross_validate(table, "label", n_folds=3, seed=0)
+        noise_only = cross_validate(
+            table, "label", feature_names=["noise"], n_folds=3, seed=0
+        )
+        assert full.mean > noise_only.mean
+
+    def test_too_few_folds_raise(self, table):
+        with pytest.raises(ModelError):
+            cross_validate(table, "label", n_folds=1)
+
+    def test_unknown_model_raises(self, table):
+        with pytest.raises(ModelError):
+            cross_validate(table, "label", model_name="tabnet")
+
+    def test_null_labels_raise(self):
+        t = Table({"x": [1.0, 2.0], "label": [1, None]}, name="t")
+        with pytest.raises(ModelError):
+            cross_validate(t, "label")
+
+    def test_stratification_keeps_classes_per_fold(self):
+        rng = np.random.default_rng(1)
+        n = 90
+        label = np.zeros(n, dtype=int)
+        label[:12] = 1
+        t = Table({"x": rng.normal(0, 1, n), "label": label}, name="t")
+        result = cross_validate(t, "label", n_folds=3, seed=0)
+        # Each fold has rare-class rows, so every fold can be scored.
+        assert result.n_folds == 3
+
+
+class TestEvaluateAuc:
+    def test_signal_gives_high_auc(self, table):
+        assert evaluate_auc(table, "label", seed=0) > 0.8
+
+    def test_noise_gives_chance_auc(self, table):
+        auc = evaluate_auc(table, "label", feature_names=["noise"], seed=0)
+        assert auc == pytest.approx(0.5, abs=0.15)
+
+    def test_multiclass_rejected(self):
+        t = Table({"x": [1.0, 2.0, 3.0] * 10, "label": [0, 1, 2] * 10}, name="t")
+        with pytest.raises(ModelError, match="binary"):
+            evaluate_auc(t, "label")
+
+    def test_deterministic(self, table):
+        assert evaluate_auc(table, "label", seed=3) == evaluate_auc(
+            table, "label", seed=3
+        )

@@ -1,0 +1,71 @@
+"""Cross-checks of our correlation/rank machinery against scipy.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy import stats
+
+from repro.ml.metrics import auc_score
+from repro.selection.relevance import _rankdata, pearson_relevance, spearman_relevance
+
+vectors = arrays(
+    np.float64,
+    st.integers(min_value=5, max_value=80),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+@given(vectors)
+@settings(max_examples=80)
+def test_rankdata_matches_scipy(x):
+    ours = _rankdata(x)
+    theirs = stats.rankdata(x, method="average")
+    assert np.allclose(ours, theirs)
+
+
+def _effectively_constant(x: np.ndarray) -> bool:
+    tiny = float(np.finfo(np.float64).tiny)
+    return np.std(x) <= 1e-12 * max(float(np.abs(x).max()), tiny)
+
+
+@given(vectors, vectors)
+@settings(max_examples=60)
+def test_pearson_matches_scipy(x, y):
+    n = min(len(x), len(y))
+    x, y = x[:n], y[:n]
+    if _effectively_constant(x) or _effectively_constant(y):
+        assert pearson_relevance(x, y) == 0.0
+        return
+    ours = pearson_relevance(x, y)
+    theirs = abs(stats.pearsonr(x, y).statistic)
+    assert ours == pytest.approx(theirs, abs=1e-6)
+
+
+@given(vectors, vectors)
+@settings(max_examples=60)
+def test_spearman_matches_scipy(x, y):
+    n = min(len(x), len(y))
+    x, y = x[:n], y[:n]
+    if len(np.unique(x)) < 2 or len(np.unique(y)) < 2:
+        return
+    ours = spearman_relevance(x, y)
+    theirs = abs(stats.spearmanr(x, y).statistic)
+    assert ours == pytest.approx(theirs, abs=1e-8)
+
+
+def test_auc_matches_rank_based_reference():
+    rng = np.random.default_rng(0)
+    for __ in range(10):
+        y = rng.integers(0, 2, 300)
+        if len(np.unique(y)) < 2:
+            continue
+        scores = rng.normal(0, 1, 300)
+        ours = auc_score(y, scores)
+        # Brute-force pairwise reference.
+        pos = scores[y == 1]
+        neg = scores[y == 0]
+        wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+        reference = wins / (len(pos) * len(neg))
+        assert ours == pytest.approx(reference, abs=1e-9)

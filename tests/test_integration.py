@@ -1,0 +1,86 @@
+"""End-to-end integration tests reproducing the paper's headline shapes.
+
+These run the full pipeline — lake generation, DRG construction (both
+settings), discovery, ranking, training — and assert the *orderings* the
+paper reports: AutoFeat beats BASE, matches-or-beats single-hop ARDA when
+signal is transitive, and spends far less time in feature selection than
+the model-in-the-loop baselines.
+"""
+
+import pytest
+
+from repro.baselines import run_arda, run_autofeat, run_base
+from repro.bench import build_setting
+from repro.core import AutoFeat, AutoFeatConfig
+from repro.datasets import build_dataset
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_dataset("credit")
+
+
+@pytest.fixture(scope="module")
+def benchmark_graph(bundle):
+    return build_setting(bundle, "benchmark")
+
+
+@pytest.fixture(scope="module")
+def datalake(bundle):
+    return build_setting(bundle, "datalake")
+
+
+@pytest.fixture(scope="module")
+def results(bundle, benchmark_graph):
+    seed = 1
+    return {
+        "base": run_base(bundle.base_table, bundle.label_column, "lightgbm", seed=seed),
+        "autofeat": run_autofeat(
+            benchmark_graph, bundle.base_name, bundle.label_column, "lightgbm", seed=seed
+        ),
+        "arda": run_arda(
+            benchmark_graph, bundle.base_name, bundle.label_column, "lightgbm", seed=seed
+        ),
+    }
+
+
+class TestBenchmarkSettingShape:
+    def test_autofeat_beats_base(self, results):
+        assert results["autofeat"].accuracy > results["base"].accuracy + 0.1
+
+    def test_autofeat_at_least_matches_arda(self, results):
+        assert results["autofeat"].accuracy >= results["arda"].accuracy - 0.02
+
+    def test_autofeat_selection_faster_than_arda(self, results):
+        assert (
+            results["arda"].feature_selection_seconds
+            > 5 * results["autofeat"].feature_selection_seconds
+        )
+
+    def test_autofeat_explores_transitively(self, results):
+        assert results["autofeat"].n_joined_tables >= 2
+
+
+class TestDataLakeSettingShape:
+    def test_autofeat_survives_noisy_graph(self, bundle, datalake, results):
+        lake_result = run_autofeat(
+            datalake, bundle.base_name, bundle.label_column, "lightgbm", seed=1
+        )
+        assert lake_result.accuracy > results["base"].accuracy + 0.1
+
+    def test_discovery_prunes_spurious_joins(self, bundle, datalake):
+        autofeat = AutoFeat(datalake, AutoFeatConfig(seed=1))
+        discovery = autofeat.discover(bundle.base_name, bundle.label_column)
+        assert discovery.n_joins_pruned_similarity + discovery.n_paths_pruned_quality > 0
+
+
+class TestStability:
+    def test_repeat_run_is_identical(self, bundle, benchmark_graph):
+        a = run_autofeat(
+            benchmark_graph, bundle.base_name, bundle.label_column, "lightgbm", seed=2
+        )
+        b = run_autofeat(
+            benchmark_graph, bundle.base_name, bundle.label_column, "lightgbm", seed=2
+        )
+        assert a.accuracy == b.accuracy
+        assert a.n_joined_tables == b.n_joined_tables
