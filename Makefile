@@ -1,0 +1,12 @@
+.PHONY: check test bench-engine
+
+# Tier-1 tests + engine-cache micro-bench (smoke mode).
+check:
+	scripts/check.sh
+
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+# Full engine-cache benchmark (several lakes); writes BENCH_engine_cache.json.
+bench-engine:
+	PYTHONPATH=src python benchmarks/bench_engine_cache.py

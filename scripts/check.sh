@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide check: tier-1 test suite plus the engine-cache micro-bench in
+# smoke mode (verifies cached/uncached discovery parity and writes
+# BENCH_engine_cache.json).  Run from anywhere: `scripts/check.sh` or
+# `make check`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== engine hop-cache micro-bench (smoke) =="
+python benchmarks/bench_engine_cache.py --smoke
+
+echo
+echo "all checks passed"

@@ -26,7 +26,8 @@ from .core import (
     TrainedPath,
     autofeat_augment,
 )
-from .dataframe import Column, DType, Table
+from .dataframe import Column, DType, JoinIndex, Table
+from .engine import ExecutionStats, HopCache, JoinEngine
 from .errors import (
     ConfigError,
     DatasetError,
@@ -53,6 +54,10 @@ __all__ = [
     "Table",
     "Column",
     "DType",
+    "JoinIndex",
+    "JoinEngine",
+    "HopCache",
+    "ExecutionStats",
     "DatasetRelationGraph",
     "KFKConstraint",
     "JoinPath",

@@ -21,6 +21,7 @@ import time
 import numpy as np
 
 from ..dataframe import Table
+from ..engine import JoinEngine
 from ..graph import DatasetRelationGraph
 from ..ml import RandomForestClassifier, TabularEncoder, encode_labels, evaluate_accuracy
 from .common import BaselineResult, join_neighbor
@@ -79,11 +80,14 @@ def run_arda(
 ) -> BaselineResult:
     """Full ARDA pipeline: star join, RIFS, model-based threshold pick."""
     started = time.perf_counter()
+    engine = JoinEngine(drg, seed=seed)
     base = drg.table(base_name)
     current = base
     joined_tables = 0
     for neighbor in drg.neighbors(base_name):
-        result = join_neighbor(current, drg, base_name, neighbor, base_name, seed)
+        result = join_neighbor(
+            current, drg, base_name, neighbor, base_name, seed, engine=engine
+        )
         if result is None:
             continue
         current, __ = result
@@ -123,4 +127,5 @@ def run_arda(
         total_seconds=time.perf_counter() - started,
         n_joined_tables=joined_tables,
         n_features_used=len(best_features),
+        engine_stats=engine.snapshot(),
     )

@@ -35,4 +35,5 @@ def run_autofeat(
         total_seconds=result.total_seconds,
         n_joined_tables=result.n_joined_tables,
         n_features_used=best.n_features_used if best else 0,
+        engine_stats=result.combined_engine_stats,
     )

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..dataframe import Table, left_join
+from ..dataframe import Table
+from ..engine import ExecutionStats, JoinEngine
 from ..graph import DatasetRelationGraph
 
 __all__ = ["BaselineResult", "join_neighbor"]
@@ -27,6 +28,10 @@ class BaselineResult:
     total_seconds: float
     n_joined_tables: int
     n_features_used: int
+    #: Join-execution counters of the run (every baseline executes through
+    #: the shared :class:`repro.engine.JoinEngine`); None for BASE-style
+    #: methods that never join.
+    engine_stats: ExecutionStats | None = None
 
     def row(self) -> dict:
         """Flat dict for report tables."""
@@ -49,18 +54,21 @@ def join_neighbor(
     target: str,
     base_name: str,
     seed: int = 0,
+    engine: JoinEngine | None = None,
 ) -> tuple[Table, list[str]] | None:
     """Join ``target`` onto the running table via the best join option.
 
     Returns ``(joined, contributed_columns)`` or None when no join option
-    exists or the join column is missing from the running table.
+    exists or the join column is missing from the running table.  Pass the
+    caller's :class:`JoinEngine` so repeated visits to the same target
+    table reuse its build-side index; a throwaway engine is used otherwise.
     """
-    from ..core.materialize import apply_hop
-
     options = drg.best_join_options(source, target)
     if not options:
         return None
+    if engine is None:
+        engine = JoinEngine(drg, seed=seed, enable_cache=False)
     try:
-        return apply_hop(current, drg, options[0], base_name, seed)
+        return engine.apply_hop(current, options[0], base_name)
     except Exception:
         return None

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 
 from ..dataframe import Table
+from ..engine import JoinEngine
 from ..errors import JoinError
 from ..graph import DatasetRelationGraph, bfs_levels, join_all_path_count
 from ..ml import evaluate_accuracy
@@ -34,8 +35,11 @@ def join_all_table(
     drg: DatasetRelationGraph,
     base_name: str,
     seed: int = 0,
+    engine: JoinEngine | None = None,
 ) -> tuple[Table, int]:
     """Join every reachable table in BFS order; returns (wide, n_joined)."""
+    if engine is None:
+        engine = JoinEngine(drg, seed=seed)
     base = drg.table(base_name)
     levels = bfs_levels(drg.graph, base_name)
     order = sorted(
@@ -54,7 +58,9 @@ def join_all_table(
         ]
         result = None
         for source in sources:
-            result = join_neighbor(current, drg, source, name, base_name, seed)
+            result = join_neighbor(
+                current, drg, source, name, base_name, seed, engine=engine
+            )
             if result is not None:
                 break
         if result is None:
@@ -88,7 +94,8 @@ def run_join_all(
             f"join orderings exceed the cap of {feasibility_cap}"
         )
     started = time.perf_counter()
-    wide, joined = join_all_table(drg, base_name, seed)
+    engine = JoinEngine(drg, seed=seed)
+    wide, joined = join_all_table(drg, base_name, seed, engine=engine)
     fs_seconds = 0.0
     feature_names = [n for n in wide.column_names if n != label_column]
     if with_filter:
@@ -113,4 +120,5 @@ def run_join_all(
         total_seconds=time.perf_counter() - started,
         n_joined_tables=joined,
         n_features_used=len(feature_names),
+        engine_stats=engine.snapshot(),
     )

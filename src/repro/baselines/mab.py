@@ -22,9 +22,10 @@ import time
 from dataclasses import dataclass, field
 
 from ..dataframe import Table
+from ..engine import JoinEngine
 from ..graph import DatasetRelationGraph
 from ..ml import evaluate_accuracy
-from .common import BaselineResult, join_neighbor
+from .common import BaselineResult
 
 __all__ = ["run_mab"]
 
@@ -72,6 +73,7 @@ def run_mab(
 ) -> BaselineResult:
     """UCB1 bandit augmentation with a pull budget."""
     started = time.perf_counter()
+    engine = JoinEngine(drg, seed=seed)
     base = drg.table(base_name)
     current = base
     current_acc = evaluate_accuracy(current, label_column, model_name, seed=seed)
@@ -103,10 +105,8 @@ def run_mab(
         pull_started = time.perf_counter()
         result = None
         if options:
-            from ..core.materialize import apply_hop
-
             try:
-                result = apply_hop(current, drg, options[0], base_name, seed)
+                result = engine.apply_hop(current, options[0], base_name)
             except Exception:
                 result = None
         if result is None:
@@ -139,4 +139,5 @@ def run_mab(
         total_seconds=time.perf_counter() - started,
         n_joined_tables=len(joined),
         n_features_used=current.n_cols - 1,
+        engine_stats=engine.snapshot(),
     )

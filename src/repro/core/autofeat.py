@@ -21,11 +21,12 @@ import time
 from collections import deque
 
 from ..dataframe import Table, stratified_sample
+from ..engine import JoinEngine
 from ..errors import JoinError
 from ..graph import DatasetRelationGraph, JoinPath
 from ..ml import evaluate_accuracy
 from .config import AutoFeatConfig
-from .materialize import apply_hop, materialize_path, qualified
+from .materialize import qualified
 from .pruning import completeness, similarity_pruned_count
 from .ranking import compute_ranking_score
 from .result import AugmentationResult, DiscoveryResult, RankedPath, TrainedPath
@@ -48,9 +49,17 @@ class AutoFeat:
 
         Runs entirely on a stratified sample of the base table; no ML model
         is trained.  Returns paths sorted by ranking score (descending).
+
+        All hops execute through one :class:`JoinEngine`, so a right-hand
+        table reached by many paths is deduped and indexed only once per
+        run (when ``config.enable_hop_cache`` is on); the engine's counters
+        are returned on ``DiscoveryResult.engine_stats``.
         """
         config = self.config
         started = time.perf_counter()
+        engine = JoinEngine(
+            self.drg, seed=config.seed, enable_cache=config.enable_hop_cache
+        )
 
         base = self.drg.table(base_name)
         if label_column not in base:
@@ -96,8 +105,8 @@ class AutoFeat:
                 for edge in self.drg.best_join_options(path.terminal, neighbor):
                     explored += 1
                     try:
-                        joined, contributed = apply_hop(
-                            current, self.drg, edge, base_name, config.seed
+                        joined, contributed = engine.apply_hop(
+                            current, edge, base_name, path=path
                         )
                     except JoinError:
                         pruned_quality += 1
@@ -141,6 +150,7 @@ class AutoFeat:
             n_paths_pruned_quality=pruned_quality,
             n_joins_pruned_similarity=pruned_similarity,
             feature_selection_seconds=time.perf_counter() - started,
+            engine_stats=engine.snapshot(),
         )
 
     # -- training phase -----------------------------------------------------------
@@ -154,10 +164,15 @@ class AutoFeat:
 
         Training uses the *full* base table (sampling only ever affected
         feature selection) and only the features accepted along each path,
-        plus all base-table features.
+        plus all base-table features.  The top-k paths often share hops, so
+        materialisation runs through one cached :class:`JoinEngine`; its
+        counters land on ``AugmentationResult.engine_stats``.
         """
         started = time.perf_counter()
         config = self.config
+        engine = JoinEngine(
+            self.drg, seed=config.seed, enable_cache=config.enable_hop_cache
+        )
         base = self.drg.table(discovery.base_table)
         base_features = [
             n for n in base.column_names if n != discovery.label_column
@@ -166,7 +181,7 @@ class AutoFeat:
         trained: list[TrainedPath] = []
         tables: list[Table] = []
         for ranked in discovery.top(config.top_k):
-            table, __ = materialize_path(self.drg, ranked.path, base, config.seed)
+            table, __ = engine.materialize_path(ranked.path, base)
             features = base_features + [
                 f for f in ranked.selected_features if f in table
             ]
@@ -204,6 +219,7 @@ class AutoFeat:
             model_name=model_name,
             total_seconds=discovery.feature_selection_seconds
             + (time.perf_counter() - started),
+            engine_stats=engine.snapshot(),
         )
 
     def augment(

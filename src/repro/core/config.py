@@ -53,6 +53,12 @@ class AutoFeatConfig:
     traversal:
         ``"bfs"`` (the paper's choice, Section IV-A) or ``"dfs"`` — kept as
         a switch for the traversal ablation.
+    enable_hop_cache:
+        Reuse deduped right-hand tables and their join indexes across all
+        paths of one run (the :class:`repro.engine.HopCache`).  Results are
+        bit-identical with the cache on or off — deduplication is
+        deterministic in ``(table, key, seed)`` — so this flag exists for
+        exact A/B verification and for bounding memory on huge lakes.
     seed:
         Seed for sampling and join-representative choices.
     """
@@ -68,6 +74,7 @@ class AutoFeatConfig:
     use_redundancy: bool = True
     sample_size: int = 1000
     traversal: str = "bfs"
+    enable_hop_cache: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -5,31 +5,21 @@ the training phase (which joins the *full* base table), and by the
 baselines.  Columns contributed by a lake table are qualified as
 ``table.column`` so provenance survives multi-hop joins and name
 collisions cannot occur.
+
+Execution is delegated to :class:`repro.engine.JoinEngine`; the functions
+here are the stable one-shot API.  Callers that execute many hops (the
+discovery BFS, the baselines' join loops) should construct one engine and
+pass it in — or call the engine directly — so build-side state is shared
+across hops; a fresh cache-less engine is created per call otherwise.
 """
 
 from __future__ import annotations
 
-from ..dataframe import Table, left_join
-from ..errors import JoinError
+from ..dataframe import Table
+from ..engine import JoinEngine, qualified, source_column_name
 from ..graph import DatasetRelationGraph, JoinPath, OrientedEdge
 
 __all__ = ["qualified", "source_column_name", "apply_hop", "materialize_path"]
-
-
-def qualified(table_name: str, column_name: str) -> str:
-    """The qualified feature name a hop contributes."""
-    return f"{table_name}.{column_name}"
-
-
-def source_column_name(edge: OrientedEdge, base_name: str) -> str:
-    """Resolve the join column of ``edge.source`` inside the running join.
-
-    Base-table columns keep their bare names; columns that arrived through
-    an earlier hop are qualified with their origin table.
-    """
-    if edge.source == base_name:
-        return edge.source_column
-    return qualified(edge.source, edge.source_column)
 
 
 def apply_hop(
@@ -38,6 +28,8 @@ def apply_hop(
     edge: OrientedEdge,
     base_name: str,
     seed: int,
+    path: JoinPath | None = None,
+    engine: JoinEngine | None = None,
 ) -> tuple[Table, list[str]]:
     """Left-join one hop onto the running table.
 
@@ -45,20 +37,14 @@ def apply_hop(
     are the qualified names of everything the right table added (join key
     included — its completeness is what quality pruning inspects).
 
-    Raises :class:`JoinError` when the join is unfeasible: the source
-    column is missing from the running join (can happen on spurious
-    discovery edges) — Algorithm 1 prunes such paths.
+    Raises :class:`repro.errors.JoinError` when the join is unfeasible: the
+    source column is missing from the running join (can happen on spurious
+    discovery edges) — Algorithm 1 prunes such paths.  Pass ``path`` to get
+    the hop sequence included in the error message.
     """
-    left_col = source_column_name(edge, base_name)
-    if left_col not in current:
-        raise JoinError(
-            f"join column {left_col!r} is not available in the running join"
-        )
-    right = drg.table(edge.target).prefixed(edge.target)
-    right_key = qualified(edge.target, edge.target_column)
-    joined = left_join(current, right, left_col, right_key, seed=seed)
-    contributed = [name for name in right.column_names if name in joined]
-    return joined, contributed
+    if engine is None:
+        engine = JoinEngine(drg, seed=seed, enable_cache=False)
+    return engine.apply_hop(current, edge, base_name, path=path)
 
 
 def materialize_path(
@@ -66,15 +52,13 @@ def materialize_path(
     path: JoinPath,
     base_table: Table,
     seed: int = 0,
+    engine: JoinEngine | None = None,
 ) -> tuple[Table, list[list[str]]]:
     """Join the full path onto ``base_table``, hop by hop.
 
     Returns the augmented table and, per hop, the list of qualified columns
     that hop contributed.
     """
-    current = base_table
-    contributions: list[list[str]] = []
-    for edge in path.edges:
-        current, contributed = apply_hop(current, drg, edge, path.base, seed)
-        contributions.append(contributed)
-    return current, contributions
+    if engine is None:
+        engine = JoinEngine(drg, seed=seed, enable_cache=False)
+    return engine.materialize_path(path, base_table)

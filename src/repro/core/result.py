@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dataframe import Table
+from ..engine import ExecutionStats
 from ..graph import JoinPath
 
 __all__ = ["RankedPath", "DiscoveryResult", "TrainedPath", "AugmentationResult"]
@@ -45,6 +46,9 @@ class DiscoveryResult:
     n_paths_pruned_quality: int
     n_joins_pruned_similarity: int
     feature_selection_seconds: float
+    #: Join-execution counters of the discovery traversal (hops, index
+    #: builds, hop-cache hits/misses, rows probed).
+    engine_stats: ExecutionStats = field(default_factory=ExecutionStats)
 
     def top(self, k: int) -> tuple[RankedPath, ...]:
         """The ``k`` best-scoring paths."""
@@ -74,6 +78,9 @@ class AugmentationResult:
     augmented_table: Table | None
     model_name: str
     total_seconds: float
+    #: Join-execution counters of the training-phase materialisations
+    #: (the discovery-phase counters live on ``discovery.engine_stats``).
+    engine_stats: ExecutionStats = field(default_factory=ExecutionStats)
 
     @property
     def accuracy(self) -> float:
@@ -87,6 +94,11 @@ class AugmentationResult:
             return 0
         return self.best.ranked.path.length
 
+    @property
+    def combined_engine_stats(self) -> ExecutionStats:
+        """Discovery-phase plus training-phase join-execution counters."""
+        return self.discovery.engine_stats.merged(self.engine_stats)
+
     def summary(self) -> str:
         """One-paragraph human-readable report."""
         lines = [
@@ -96,6 +108,7 @@ class AugmentationResult:
             f"{self.discovery.n_joins_pruned_similarity} join columns on similarity",
             f"feature selection {self.discovery.feature_selection_seconds:.2f}s, "
             f"total {self.total_seconds:.2f}s, model {self.model_name}",
+            f"engine: {self.combined_engine_stats.describe()}",
         ]
         if self.best is not None:
             lines.append(f"best accuracy {self.best.accuracy:.4f} on path:")

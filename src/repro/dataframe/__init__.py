@@ -17,7 +17,7 @@ from .impute import (
     impute_table,
 )
 from .io import from_csv_text, read_csv, to_csv_text, write_csv
-from .join import dedup_by_key, inner_join, join_key_null_ratio, left_join
+from .join import JoinIndex, dedup_by_key, inner_join, join_key_null_ratio, left_join
 from .quality import (
     ColumnQuality,
     TableQuality,
@@ -36,6 +36,7 @@ __all__ = [
     "Expression",
     "col",
     "where",
+    "JoinIndex",
     "left_join",
     "inner_join",
     "dedup_by_key",

@@ -1,4 +1,4 @@
-"""Left joins with cardinality control.
+"""Left joins with cardinality control, as two-phase build/probe kernels.
 
 AutoFeat only ever performs *left* joins so that the base table keeps its
 row count and label distribution (paper Section IV-B).  To guarantee this
@@ -8,12 +8,26 @@ randomly select a row", ARDA-style).  We make the random choice
 deterministic: the representative is picked with a seeded RNG keyed on the
 join-key value, so repeated runs — and the path ranking that depends on
 them — are reproducible.
+
+Join execution is split into two phases so the expensive half can be
+reused across join paths:
+
+* **build** — :meth:`JoinIndex.build` deduplicates the right table and
+  hashes its key column once;
+* **probe** — :meth:`JoinIndex.probe` maps any stream of left-hand keys
+  onto build-side row indices, and :meth:`JoinIndex.left_join` gathers the
+  build columns onto a probe table.
+
+:func:`left_join` and :func:`inner_join` remain the one-shot wrappers
+(build + probe in a single call); the execution engine in
+:mod:`repro.engine` holds ``JoinIndex`` objects in a cache so that a table
+probed by many paths is only ever built once.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -21,13 +35,27 @@ from ..errors import JoinError
 from .column import Column, DType
 from .table import Table
 
-__all__ = ["left_join", "inner_join", "dedup_by_key", "join_key_null_ratio"]
+__all__ = [
+    "JoinIndex",
+    "left_join",
+    "inner_join",
+    "dedup_by_key",
+    "join_key_null_ratio",
+]
 
 
 def _key_of(value: Any) -> Any:
-    """Normalise a join-key value so that 1 and 1.0 compare equal."""
+    """Normalise a join-key value so that 1, 1.0 and np.int64(1) compare equal.
+
+    numpy scalars (``np.int64``, ``np.float64``, ``np.bool_``, ``np.str_``)
+    are unwrapped to the corresponding Python scalar first: they hash like
+    their Python twins but ``repr`` differently, which would destabilise the
+    :func:`_representative_index` digest across storage dtypes.
+    """
     if value is None:
         return None
+    if isinstance(value, np.generic):
+        value = value.item()
     if isinstance(value, bool):
         return value
     if isinstance(value, float) and value.is_integer():
@@ -67,6 +95,131 @@ def dedup_by_key(table: Table, key_column: str, seed: int = 0) -> Table:
     return table.take(np.asarray(picks, dtype=np.int64))
 
 
+class JoinIndex:
+    """The build side of a hash join: a deduped table plus its key index.
+
+    Built once per ``(table, key_column, seed)`` and probed arbitrarily
+    many times — this is the unit the :class:`repro.engine.HopCache`
+    memoizes across join paths.  The index is immutable after ``build``.
+    """
+
+    __slots__ = ("build_table", "key_column", "seed", "deduplicated", "_index")
+
+    def __init__(
+        self,
+        build_table: Table,
+        key_column: str,
+        seed: int,
+        index: dict[Any, int],
+        deduplicated: bool,
+    ):
+        self.build_table = build_table
+        self.key_column = key_column
+        self.seed = seed
+        self.deduplicated = deduplicated
+        self._index = index
+
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        key_column: str,
+        seed: int = 0,
+        deduplicate: bool = True,
+    ) -> "JoinIndex":
+        """Deduplicate ``table`` on ``key_column`` and hash the survivors.
+
+        With ``deduplicate=False`` the table is taken as-is and a duplicate
+        key raises :class:`JoinError` (a left join through it would
+        duplicate probe rows).
+        """
+        if key_column not in table:
+            raise JoinError(
+                f"right table {table.name!r} has no join column {key_column!r}"
+            )
+        build = dedup_by_key(table, key_column, seed=seed) if deduplicate else table
+        index: dict[Any, int] = {}
+        for i, value in enumerate(build.column(key_column)):
+            if value is None:
+                continue
+            key = _key_of(value)
+            if key in index:
+                raise JoinError(
+                    f"duplicate join key {value!r} in {table.name!r} with "
+                    "deduplicate=False; a left join would duplicate probe rows"
+                )
+            index[key] = i
+        return cls(build, key_column, seed, index, deduplicate)
+
+    @property
+    def n_keys(self) -> int:
+        """Number of distinct non-null join keys on the build side."""
+        return len(self._index)
+
+    def __contains__(self, value: Any) -> bool:
+        return _key_of(value) in self._index
+
+    def probe(self, keys: Iterable[Any]) -> np.ndarray:
+        """Map probe-side key values onto build-side row indices.
+
+        Returns an int64 gather array aligned with ``keys``; unmatched or
+        null keys map to ``-1``.
+        """
+        index = self._index
+        return np.asarray(
+            [
+                -1 if value is None else index.get(_key_of(value), -1)
+                for value in keys
+            ],
+            dtype=np.int64,
+        )
+
+    def left_join(
+        self, left: Table, left_on: str, drop_right_key: bool = False
+    ) -> Table:
+        """Probe with ``left`` and gather the build columns onto it.
+
+        The left row count is preserved exactly; unmatched probe rows carry
+        nulls in every build column.
+        """
+        if left_on not in left:
+            raise JoinError(
+                f"left table {left.name!r} has no join column {left_on!r}"
+            )
+        gather = self.probe(left.column(left_on))
+        return self._attach(left, gather, drop_right_key)
+
+    def _attach(
+        self, left: Table, gather: np.ndarray, drop_right_key: bool
+    ) -> Table:
+        """Gather build rows onto ``left`` along a precomputed gather array."""
+        build = self.build_table
+        n = left.n_rows
+        matched = gather >= 0
+        safe_gather = np.where(matched, gather, 0)
+
+        out: dict[str, Column] = {name: left.column(name) for name in left.column_names}
+        for name in build.column_names:
+            if drop_right_key and name == self.key_column:
+                continue
+            out_name = name
+            while out_name in out:
+                out_name = f"{out_name}_r"
+            source = build.column(name)
+            if build.n_rows == 0:
+                out[out_name] = Column.nulls(n, dtype=source.dtype)
+                continue
+            taken = source.take(safe_gather)
+            mask = taken.mask | ~matched
+            if source.dtype is DType.STRING:
+                values = taken.values.copy()
+                values[~matched] = None
+            else:
+                values = taken.values.copy()
+            out[out_name] = Column(values, dtype=source.dtype, mask=mask)
+        return Table(out, name=left.name)
+
+
 def left_join(
     left: Table,
     right: Table,
@@ -75,8 +228,14 @@ def left_join(
     seed: int = 0,
     deduplicate: bool = True,
     drop_right_key: bool = False,
+    index: JoinIndex | None = None,
 ) -> Table:
     """Left join preserving the left table's row count exactly.
+
+    One-shot wrapper over :class:`JoinIndex`: build the right side, then
+    probe with the left.  Pass a prebuilt ``index`` to skip the build phase
+    (the ``right``/``right_on``/``seed``/``deduplicate`` arguments are then
+    ignored — the index already embodies them).
 
     Parameters
     ----------
@@ -107,53 +266,9 @@ def left_join(
     """
     if left_on not in left:
         raise JoinError(f"left table {left.name!r} has no join column {left_on!r}")
-    if right_on not in right:
-        raise JoinError(f"right table {right.name!r} has no join column {right_on!r}")
-
-    build = dedup_by_key(right, right_on, seed=seed) if deduplicate else right
-
-    index: dict[Any, int] = {}
-    for i, value in enumerate(build.column(right_on)):
-        if value is None:
-            continue
-        key = _key_of(value)
-        if key in index:
-            raise JoinError(
-                f"duplicate join key {value!r} in {right.name!r} with "
-                "deduplicate=False; a left join would duplicate probe rows"
-            )
-        index[key] = i
-
-    n = left.n_rows
-    gather = np.full(n, -1, dtype=np.int64)
-    for i, value in enumerate(left.column(left_on)):
-        if value is None:
-            continue
-        gather[i] = index.get(_key_of(value), -1)
-
-    matched = gather >= 0
-    safe_gather = np.where(matched, gather, 0)
-
-    out: dict[str, Column] = {name: left.column(name) for name in left.column_names}
-    for name in build.column_names:
-        if drop_right_key and name == right_on:
-            continue
-        out_name = name
-        while out_name in out:
-            out_name = f"{out_name}_r"
-        source = build.column(name)
-        if build.n_rows == 0:
-            out[out_name] = Column.nulls(n, dtype=source.dtype)
-            continue
-        taken = source.take(safe_gather)
-        mask = taken.mask | ~matched
-        if source.dtype is DType.STRING:
-            values = taken.values.copy()
-            values[~matched] = None
-        else:
-            values = taken.values.copy()
-        out[out_name] = Column(values, dtype=source.dtype, mask=mask)
-    return Table(out, name=left.name)
+    if index is None:
+        index = JoinIndex.build(right, right_on, seed=seed, deduplicate=deduplicate)
+    return index.left_join(left, left_on, drop_right_key=drop_right_key)
 
 
 def inner_join(
@@ -164,6 +279,7 @@ def inner_join(
     seed: int = 0,
     deduplicate: bool = True,
     drop_right_key: bool = False,
+    index: JoinIndex | None = None,
 ) -> Table:
     """Inner join: like :func:`left_join` but unmatched probe rows are cut.
 
@@ -171,27 +287,13 @@ def inner_join(
     skews the label distribution — but the engine provides it so the
     join-type ablation can *demonstrate* that skew rather than assert it.
     """
-    joined = left_join(
-        left,
-        right,
-        left_on,
-        right_on,
-        seed=seed,
-        deduplicate=deduplicate,
-        drop_right_key=drop_right_key,
-    )
-    build = dedup_by_key(right, right_on, seed=seed) if deduplicate else right
-    present = {
-        _key_of(v) for v in build.column(right_on) if v is not None
-    }
-    keep = np.asarray(
-        [
-            value is not None and _key_of(value) in present
-            for value in left.column(left_on)
-        ],
-        dtype=bool,
-    )
-    return joined.filter(keep)
+    if left_on not in left:
+        raise JoinError(f"left table {left.name!r} has no join column {left_on!r}")
+    if index is None:
+        index = JoinIndex.build(right, right_on, seed=seed, deduplicate=deduplicate)
+    gather = index.probe(left.column(left_on))
+    joined = index._attach(left, gather, drop_right_key)
+    return joined.filter(gather >= 0)
 
 
 def join_key_null_ratio(joined: Table, right_columns: list[str]) -> float:

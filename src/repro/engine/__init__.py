@@ -1,0 +1,23 @@
+"""Shared join-execution engine (plan/execute split with hop caching).
+
+The engine layer sits between the columnar substrate
+(:mod:`repro.dataframe`) and the algorithm layer (:mod:`repro.core`,
+:mod:`repro.baselines`): it turns DRG edges into build/probe join kernels,
+memoizes build-side state across join paths with a :class:`HopCache`, and
+exposes execution counters so callers can observe exactly how much join
+work a run performed.
+"""
+
+from .engine import JoinEngine
+from .hop_cache import HopCache
+from .naming import qualified, source_column_name
+from .stats import EngineStats, ExecutionStats
+
+__all__ = [
+    "JoinEngine",
+    "HopCache",
+    "EngineStats",
+    "ExecutionStats",
+    "qualified",
+    "source_column_name",
+]

@@ -1,0 +1,154 @@
+"""The shared join-execution engine: plan/execute split over the DRG.
+
+Everything in the system that joins along DRG edges — the discovery BFS,
+top-k path materialisation, and all four baselines — executes through one
+:class:`JoinEngine`.  The engine separates the two halves of a hop:
+
+* **plan** — resolve the edge into a probe column and a build-side
+  :class:`~repro.dataframe.JoinIndex` (served by the :class:`HopCache`
+  whenever the same ``(table, key_column, seed)`` was built before);
+* **execute** — probe the running table through the index and collect the
+  qualified columns the hop contributed.
+
+The engine also owns the run's :class:`EngineStats`, so every consumer
+gets observable build/probe/cache counters for free.
+"""
+
+from __future__ import annotations
+
+from ..dataframe import JoinIndex, Table
+from ..errors import JoinError
+from ..graph import DatasetRelationGraph, JoinPath, OrientedEdge
+from .hop_cache import HopCache
+from .naming import qualified, source_column_name
+from .stats import EngineStats, ExecutionStats
+
+__all__ = ["JoinEngine"]
+
+
+def _hop_context(base_name: str, path: JoinPath | None, edge: OrientedEdge) -> str:
+    """Render the path context attached to hop-level :class:`JoinError`."""
+    prefix = path.describe() if path is not None and path.edges else "(at base)"
+    failing = (
+        f"{edge.source}.{edge.source_column} -> {edge.target}.{edge.target_column}"
+    )
+    return f"base={base_name!r} path=[{prefix}] failing edge [{failing}]"
+
+
+class JoinEngine:
+    """Executes DRG join hops with cross-path build-state reuse.
+
+    One engine instance spans one logical run (a discovery traversal, a
+    top-k training pass, or a baseline's join loop): every hop executed
+    through it shares the :class:`HopCache` and accumulates into the same
+    :class:`EngineStats`.
+
+    Parameters
+    ----------
+    drg:
+        The dataset relation graph whose tables the engine joins.
+    seed:
+        Seed for the deterministic representative-row choice during the
+        build phase; part of the cache key.
+    enable_cache:
+        Disable to rebuild the join index on every hop (exact A/B switch —
+        results are bit-identical either way, only the work differs).
+    """
+
+    def __init__(
+        self,
+        drg: DatasetRelationGraph,
+        seed: int = 0,
+        enable_cache: bool = True,
+    ):
+        self.drg = drg
+        self.seed = seed
+        self.cache = HopCache(enabled=enable_cache)
+        self.stats = EngineStats()
+
+    # -- plan phase ---------------------------------------------------------
+
+    def hop_index(self, edge: OrientedEdge) -> JoinIndex:
+        """The build-side index for ``edge``'s target table, cached.
+
+        The target table is prefixed (``table.column`` qualification) and
+        deduplicated on the qualified join key; both happen at most once
+        per ``(target, key, seed)`` for the lifetime of the engine.
+        """
+        key_column = qualified(edge.target, edge.target_column)
+
+        def builder() -> JoinIndex:
+            right = self.drg.table(edge.target).prefixed(edge.target)
+            return JoinIndex.build(right, key_column, seed=self.seed)
+
+        return self.cache.get_or_build(
+            edge.target, key_column, self.seed, builder, self.stats
+        )
+
+    # -- execute phase ------------------------------------------------------
+
+    def apply_hop(
+        self,
+        current: Table,
+        edge: OrientedEdge,
+        base_name: str,
+        path: JoinPath | None = None,
+    ) -> tuple[Table, list[str]]:
+        """Left-join one hop onto the running table.
+
+        Returns ``(joined, contributed_columns)`` where the contributed
+        columns are the qualified names of everything the right table added
+        (join key included — its completeness is what quality pruning
+        inspects).
+
+        Raises :class:`JoinError` when the join is unfeasible: the source
+        column is missing from the running join (can happen on spurious
+        discovery edges) — Algorithm 1 prunes such paths.  The error
+        message carries the base table, the hop sequence walked so far
+        (when ``path`` is given) and the failing edge, so pruned-path
+        diagnostics are actionable.
+        """
+        left_col = source_column_name(edge, base_name)
+        if left_col not in current:
+            raise JoinError(
+                f"join column {left_col!r} is not available in the running "
+                f"join; {_hop_context(base_name, path, edge)}"
+            )
+        try:
+            index = self.hop_index(edge)
+        except JoinError as exc:
+            raise JoinError(
+                f"{exc}; {_hop_context(base_name, path, edge)}"
+            ) from exc
+        self.stats.hops_executed += 1
+        self.stats.rows_probed += current.n_rows
+        joined = index.left_join(current, left_col)
+        contributed = [
+            name for name in index.build_table.column_names if name in joined
+        ]
+        return joined, contributed
+
+    def materialize_path(
+        self, path: JoinPath, base_table: Table
+    ) -> tuple[Table, list[list[str]]]:
+        """Join the full path onto ``base_table``, hop by hop.
+
+        Returns the augmented table and, per hop, the list of qualified
+        columns that hop contributed.
+        """
+        current = base_table
+        contributions: list[list[str]] = []
+        walked = JoinPath(path.base)
+        for edge in path.edges:
+            current, contributed = self.apply_hop(
+                current, edge, path.base, path=walked
+            )
+            walked = walked.extend(edge)
+            contributions.append(contributed)
+        return current, contributions
+
+    # -- observability ------------------------------------------------------
+
+    def snapshot(self) -> ExecutionStats:
+        """Freeze the engine's counters into an immutable stats record."""
+        return self.stats.snapshot()

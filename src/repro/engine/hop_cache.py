@@ -1,0 +1,87 @@
+"""Cross-path caching of join-hop build state.
+
+The discovery BFS (Algorithm 1) revisits the same right-hand table on many
+different join paths: every acyclic path that reaches dataset ``T`` through
+key column ``k`` needs the *identical* deduped table and hash index,
+because deduplication is deterministic in ``(table, key_column, seed)``.
+The :class:`HopCache` memoizes that build state so it is computed once per
+discovery run instead of once per frontier hop — the reuse lever
+FeatNavigator and Hippasus identify as dominant for data-lake-scale
+augmentation.
+
+Correctness note: a cached :class:`~repro.dataframe.JoinIndex` is
+immutable, and the representative-row choice inside
+:func:`~repro.dataframe.dedup_by_key` depends only on the cache key, so
+executing through the cache is bit-identical to rebuilding per hop
+(verified by the engine parity tests and the ``bench_engine_cache``
+micro-benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..dataframe import JoinIndex
+from .stats import EngineStats
+
+__all__ = ["HopCache"]
+
+
+class HopCache:
+    """Memoizes :class:`JoinIndex` objects keyed by ``(table, key, seed)``.
+
+    Parameters
+    ----------
+    enabled:
+        When False every lookup falls through to the builder (and no
+        entries are stored) — the exact-A/B switch behind
+        ``AutoFeatConfig.enable_hop_cache``.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._indexes: dict[tuple[str, str, int], JoinIndex] = {}
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __contains__(self, key: tuple[str, str, int]) -> bool:
+        return key in self._indexes
+
+    def clear(self) -> None:
+        """Drop every cached index (e.g. between unrelated discovery runs)."""
+        self._indexes.clear()
+
+    def get_or_build(
+        self,
+        table_name: str,
+        key_column: str,
+        seed: int,
+        builder: Callable[[], JoinIndex],
+        stats: EngineStats | None = None,
+    ) -> JoinIndex:
+        """Return the cached index for the key, building it on first use.
+
+        ``builder`` is only invoked on a miss (or always, when the cache is
+        disabled), so callers can defer *all* build-side work — including
+        column prefixing — behind it.  ``stats`` counters are updated in
+        place: ``index_builds`` on every build, ``cache_hits`` /
+        ``cache_misses`` only when the cache is enabled (a disabled cache
+        performs no lookups).
+        """
+        if not self.enabled:
+            if stats is not None:
+                stats.index_builds += 1
+            return builder()
+        key = (table_name, key_column, seed)
+        cached = self._indexes.get(key)
+        if cached is not None:
+            if stats is not None:
+                stats.cache_hits += 1
+            return cached
+        if stats is not None:
+            stats.cache_misses += 1
+            stats.index_builds += 1
+        index = builder()
+        self._indexes[key] = index
+        return index

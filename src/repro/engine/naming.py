@@ -1,0 +1,30 @@
+"""Qualified feature naming shared by the engine and the core algorithm.
+
+Columns contributed by a lake table are qualified as ``table.column`` so
+provenance survives multi-hop joins and name collisions cannot occur.
+These helpers are the single source of truth for that convention; the
+``repro.core.materialize`` module re-exports them for backward
+compatibility.
+"""
+
+from __future__ import annotations
+
+from ..graph import OrientedEdge
+
+__all__ = ["qualified", "source_column_name"]
+
+
+def qualified(table_name: str, column_name: str) -> str:
+    """The qualified feature name a hop contributes."""
+    return f"{table_name}.{column_name}"
+
+
+def source_column_name(edge: OrientedEdge, base_name: str) -> str:
+    """Resolve the join column of ``edge.source`` inside the running join.
+
+    Base-table columns keep their bare names; columns that arrived through
+    an earlier hop are qualified with their origin table.
+    """
+    if edge.source == base_name:
+        return edge.source_column
+    return qualified(edge.source, edge.source_column)

@@ -1,0 +1,106 @@
+"""Execution statistics for the join engine.
+
+Two flavours of the same record: :class:`EngineStats` is the mutable
+counter block a :class:`repro.engine.JoinEngine` increments while it runs,
+and :class:`ExecutionStats` is the frozen snapshot threaded into result
+objects (``DiscoveryResult.engine_stats`` and friends) so callers can
+observe exactly how much join work a run performed — and how much the
+:class:`repro.engine.HopCache` saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EngineStats", "ExecutionStats"]
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """Immutable snapshot of one engine's join-execution counters.
+
+    Attributes
+    ----------
+    hops_executed:
+        Join hops the engine actually performed (probe phases).
+    index_builds:
+        Build phases run: dedup + hash of a right-hand table.  With the hop
+        cache enabled this is strictly less than ``hops_executed`` whenever
+        any ``(table, key_column)`` pair recurs across paths.
+    cache_hits / cache_misses:
+        Hop-cache lookups that found / did not find a prebuilt index.  Both
+        stay zero when the cache is disabled (there are no lookups).
+    rows_probed:
+        Total probe-side rows streamed through :meth:`JoinIndex.probe`.
+    """
+
+    hops_executed: int = 0
+    index_builds: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rows_probed: int = 0
+
+    @property
+    def cache_lookups(self) -> int:
+        """Total hop-cache lookups (hits + misses)."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups served from the cache (0.0 if none)."""
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def merged(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Counter-wise sum — e.g. discovery-phase + training-phase stats."""
+        return ExecutionStats(
+            hops_executed=self.hops_executed + other.hops_executed,
+            index_builds=self.index_builds + other.index_builds,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            rows_probed=self.rows_probed + other.rows_probed,
+        )
+
+    def as_dict(self) -> dict:
+        """Flat dict for reports and the engine-cache benchmark JSON."""
+        return {
+            "hops_executed": self.hops_executed,
+            "index_builds": self.index_builds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "rows_probed": self.rows_probed,
+        }
+
+    def describe(self) -> str:
+        """One-line human-readable rendering for summaries."""
+        return (
+            f"{self.hops_executed} hops, {self.index_builds} index builds, "
+            f"{self.cache_hits}/{self.cache_lookups} cache hits, "
+            f"{self.rows_probed} rows probed"
+        )
+
+
+@dataclass
+class EngineStats:
+    """Mutable counters incremented by a running engine.
+
+    Field meanings match :class:`ExecutionStats`; call :meth:`snapshot` to
+    freeze the current values into a result-friendly record.
+    """
+
+    hops_executed: int = 0
+    index_builds: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rows_probed: int = 0
+
+    def snapshot(self) -> ExecutionStats:
+        """Freeze the current counter values."""
+        return ExecutionStats(
+            hops_executed=self.hops_executed,
+            index_builds=self.index_builds,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            rows_probed=self.rows_probed,
+        )

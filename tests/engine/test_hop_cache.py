@@ -1,0 +1,94 @@
+"""Exact accounting of the cross-path hop cache."""
+
+from repro.engine import EngineStats, ExecutionStats, HopCache
+
+
+class CountingBuilder:
+    """Stands in for the JoinIndex build phase; counts invocations."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        return object()
+
+
+class TestEnabledCache:
+    def test_miss_then_hit(self):
+        cache, stats, builder = HopCache(), EngineStats(), CountingBuilder()
+        first = cache.get_or_build("t", "t.k", 0, builder, stats)
+        second = cache.get_or_build("t", "t.k", 0, builder, stats)
+        assert first is second
+        assert builder.calls == 1
+        assert (stats.index_builds, stats.cache_hits, stats.cache_misses) == (1, 1, 1)
+        assert len(cache) == 1
+        assert ("t", "t.k", 0) in cache
+
+    def test_distinct_keys_build_separately(self):
+        cache, stats, builder = HopCache(), EngineStats(), CountingBuilder()
+        cache.get_or_build("t", "t.k", 0, builder, stats)
+        cache.get_or_build("t", "t.other", 0, builder, stats)  # other key column
+        cache.get_or_build("u", "t.k", 0, builder, stats)  # other table
+        cache.get_or_build("t", "t.k", 1, builder, stats)  # other seed
+        assert builder.calls == 4
+        assert stats.cache_misses == 4
+        assert stats.cache_hits == 0
+        assert len(cache) == 4
+
+    def test_clear_forces_rebuild(self):
+        cache, builder = HopCache(), CountingBuilder()
+        cache.get_or_build("t", "t.k", 0, builder)
+        cache.clear()
+        assert len(cache) == 0
+        cache.get_or_build("t", "t.k", 0, builder)
+        assert builder.calls == 2
+
+    def test_stats_optional(self):
+        cache, builder = HopCache(), CountingBuilder()
+        assert cache.get_or_build("t", "t.k", 0, builder) is cache.get_or_build(
+            "t", "t.k", 0, builder
+        )
+
+
+class TestDisabledCache:
+    def test_every_lookup_builds_and_nothing_is_counted_as_cache_traffic(self):
+        cache, stats, builder = HopCache(enabled=False), EngineStats(), CountingBuilder()
+        a = cache.get_or_build("t", "t.k", 0, builder, stats)
+        b = cache.get_or_build("t", "t.k", 0, builder, stats)
+        assert a is not b
+        assert builder.calls == 2
+        assert stats.index_builds == 2
+        assert stats.cache_hits == stats.cache_misses == 0
+        assert len(cache) == 0
+
+
+class TestStats:
+    def test_snapshot_freezes_counters(self):
+        stats = EngineStats(hops_executed=3, index_builds=2, cache_hits=1,
+                            cache_misses=2, rows_probed=300)
+        snap = stats.snapshot()
+        stats.hops_executed = 99
+        assert snap.hops_executed == 3
+        assert snap.cache_lookups == 3
+        assert snap.cache_hit_rate == 1 / 3
+
+    def test_hit_rate_zero_without_lookups(self):
+        assert ExecutionStats().cache_hit_rate == 0.0
+
+    def test_merged_sums_counterwise(self):
+        a = ExecutionStats(hops_executed=2, index_builds=1, cache_hits=1,
+                           cache_misses=1, rows_probed=10)
+        b = ExecutionStats(hops_executed=3, index_builds=3, cache_hits=0,
+                           cache_misses=3, rows_probed=5)
+        merged = a.merged(b)
+        assert merged == ExecutionStats(hops_executed=5, index_builds=4,
+                                        cache_hits=1, cache_misses=4,
+                                        rows_probed=15)
+
+    def test_as_dict_reports_hit_rate(self):
+        stats = ExecutionStats(hops_executed=4, index_builds=3, cache_hits=1,
+                               cache_misses=3, rows_probed=40)
+        row = stats.as_dict()
+        assert row["cache_hit_rate"] == 0.25
+        assert row["index_builds"] == 3
