@@ -1,6 +1,6 @@
-.PHONY: check test bench-engine
+.PHONY: check test bench-engine bench-selection
 
-# Tier-1 tests + engine-cache micro-bench (smoke mode).
+# Tier-1 tests + engine-cache and selection-kernel micro-benches (smoke mode).
 check:
 	scripts/check.sh
 
@@ -10,3 +10,8 @@ test:
 # Full engine-cache benchmark (several lakes); writes BENCH_engine_cache.json.
 bench-engine:
 	PYTHONPATH=src python benchmarks/bench_engine_cache.py
+
+# Full selection-kernel benchmark (kernels on vs off, parity-gated); writes
+# BENCH_selection_kernels.json.
+bench-selection:
+	PYTHONPATH=src python benchmarks/bench_selection_kernels.py

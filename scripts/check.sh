@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Repo-wide check: tier-1 test suite plus the engine-cache micro-bench in
-# smoke mode (verifies cached/uncached discovery parity and writes
-# BENCH_engine_cache.json).  Run from anywhere: `scripts/check.sh` or
-# `make check`.
+# Repo-wide check: tier-1 test suite plus the engine-cache and
+# selection-kernel micro-benches in smoke mode (verifying cached/uncached
+# and kernels-on/off discovery parity; they write BENCH_engine_cache.json
+# and BENCH_selection_kernels.json).  Run from anywhere: `scripts/check.sh`
+# or `make check`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,6 +15,10 @@ python -m pytest -x -q
 echo
 echo "== engine hop-cache micro-bench (smoke) =="
 python benchmarks/bench_engine_cache.py --smoke
+
+echo
+echo "== selection-kernel micro-bench (smoke) =="
+python benchmarks/bench_selection_kernels.py --smoke
 
 echo
 echo "all checks passed"

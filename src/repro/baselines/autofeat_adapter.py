@@ -36,4 +36,5 @@ def run_autofeat(
         n_joined_tables=result.n_joined_tables,
         n_features_used=best.n_features_used if best else 0,
         engine_stats=result.combined_engine_stats,
+        selection_stats=result.discovery.selection_stats,
     )

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from ..dataframe import Table
 from ..engine import ExecutionStats, JoinEngine
 from ..graph import DatasetRelationGraph
+from ..selection.stats import SelectionStats
 
 __all__ = ["BaselineResult", "join_neighbor"]
 
@@ -32,6 +33,10 @@ class BaselineResult:
     #: the shared :class:`repro.engine.JoinEngine`); None for BASE-style
     #: methods that never join.
     engine_stats: ExecutionStats | None = None
+    #: Feature-scoring counters for methods that use the shared selection
+    #: layer (AutoFeat, JoinAll+F); None for model-in-the-loop selectors
+    #: (ARDA's RIFS, MAB) that never touch it.
+    selection_stats: SelectionStats | None = None
 
     def row(self) -> dict:
         """Flat dict for report tables."""

@@ -22,7 +22,7 @@ from ..engine import JoinEngine
 from ..errors import JoinError
 from ..graph import DatasetRelationGraph, bfs_levels, join_all_path_count
 from ..ml import evaluate_accuracy
-from ..selection import select_k_best_named
+from ..selection import SelectionCounters, select_k_best_named
 from .common import BaselineResult, join_neighbor
 
 __all__ = ["run_join_all", "join_all_table", "FEASIBILITY_CAP"]
@@ -98,12 +98,20 @@ def run_join_all(
     wide, joined = join_all_table(drg, base_name, seed, engine=engine)
     fs_seconds = 0.0
     feature_names = [n for n in wide.column_names if n != label_column]
+    counters = SelectionCounters()
     if with_filter:
         fs_started = time.perf_counter()
         label = wide.column(label_column).to_float()
         matrix = wide.numeric_matrix(feature_names)
         kept, __ = select_k_best_named(
-            matrix, feature_names, label, k=kappa, metric="spearman", seed=seed
+            matrix,
+            feature_names,
+            label,
+            k=kappa,
+            metric="spearman",
+            seed=seed,
+            use_kernels=True,
+            counters=counters,
         )
         fs_seconds = time.perf_counter() - fs_started
         if kept:
@@ -121,4 +129,5 @@ def run_join_all(
         n_joined_tables=joined,
         n_features_used=len(feature_names),
         engine_stats=engine.snapshot(),
+        selection_stats=counters.snapshot() if with_filter else None,
     )

@@ -53,7 +53,12 @@ class AutoFeat:
         All hops execute through one :class:`JoinEngine`, so a right-hand
         table reached by many paths is deduped and indexed only once per
         run (when ``config.enable_hop_cache`` is on); the engine's counters
-        are returned on ``DiscoveryResult.engine_stats``.
+        are returned on ``DiscoveryResult.engine_stats``.  Feature scoring
+        likewise runs through one :class:`StreamingFeatureSelector` whose
+        vectorised kernels and persistent code cache
+        (``config.enable_selection_kernels``) amortise discretisation and
+        ranking across all hops; its counters are returned on
+        ``DiscoveryResult.selection_stats``.
         """
         config = self.config
         started = time.perf_counter()
@@ -72,9 +77,12 @@ class AutoFeat:
         label = sample.column(label_column).to_float()
 
         selector = StreamingFeatureSelector(config, label)
+        selection_seconds = 0.0
         base_features = [n for n in sample.column_names if n != label_column]
         if base_features:
+            scoring_started = time.perf_counter()
             selector.seed_with(base_features, sample.numeric_matrix(base_features))
+            selection_seconds += time.perf_counter() - scoring_started
 
         ranked: list[RankedPath] = []
         explored = 0
@@ -118,9 +126,11 @@ class AutoFeat:
 
                     join_key = qualified(edge.target, edge.target_column)
                     candidates = [c for c in contributed if c != join_key]
+                    scoring_started = time.perf_counter()
                     outcome = selector.process_batch(
                         candidates, joined.numeric_matrix(candidates)
                     )
+                    selection_seconds += time.perf_counter() - scoring_started
                     score = compute_ranking_score(
                         outcome.relevance_scores, outcome.redundancy_scores
                     )
@@ -149,8 +159,10 @@ class AutoFeat:
             n_paths_explored=explored,
             n_paths_pruned_quality=pruned_quality,
             n_joins_pruned_similarity=pruned_similarity,
-            feature_selection_seconds=time.perf_counter() - started,
+            feature_selection_seconds=selection_seconds,
+            discovery_seconds=time.perf_counter() - started,
             engine_stats=engine.snapshot(),
+            selection_stats=selector.stats,
         )
 
     # -- training phase -----------------------------------------------------------
@@ -217,7 +229,7 @@ class AutoFeat:
             best=best,
             augmented_table=augmented,
             model_name=model_name,
-            total_seconds=discovery.feature_selection_seconds
+            total_seconds=discovery.discovery_seconds
             + (time.perf_counter() - started),
             engine_stats=engine.snapshot(),
         )

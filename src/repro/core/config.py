@@ -59,6 +59,13 @@ class AutoFeatConfig:
         bit-identical with the cache on or off — deduplication is
         deterministic in ``(table, key, seed)`` — so this flag exists for
         exact A/B verification and for bounding memory on huge lakes.
+    enable_selection_kernels:
+        Score relevance/redundancy through the vectorised kernels and the
+        persistent code cache of :mod:`repro.selection.kernels` instead of
+        the scalar per-column path.  Scores are bit-identical either way
+        (the kernels perform the same floating-point operations on the
+        same buffers), so this flag exists for exact A/B verification —
+        ``benchmarks/bench_selection_kernels.py`` asserts ranking parity.
     seed:
         Seed for sampling and join-representative choices.
     """
@@ -75,6 +82,7 @@ class AutoFeatConfig:
     sample_size: int = 1000
     traversal: str = "bfs"
     enable_hop_cache: bool = True
+    enable_selection_kernels: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

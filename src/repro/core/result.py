@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from ..dataframe import Table
 from ..engine import ExecutionStats
 from ..graph import JoinPath
+from ..selection.stats import SelectionStats
 
 __all__ = ["RankedPath", "DiscoveryResult", "TrainedPath", "AugmentationResult"]
 
@@ -45,10 +46,20 @@ class DiscoveryResult:
     n_paths_explored: int
     n_paths_pruned_quality: int
     n_joins_pruned_similarity: int
+    #: Wall time spent inside the streaming selector (relevance plus
+    #: redundancy scoring).  This is the quantity the paper's Figure 3/4
+    #: "feature selection time" comparisons measure, and it matches how the
+    #: ARDA/MAB/JoinAll+F baselines account their own selection loops.
     feature_selection_seconds: float
+    #: Wall time of the whole discovery traversal (join execution, pruning
+    #: and feature selection together).
+    discovery_seconds: float = 0.0
     #: Join-execution counters of the discovery traversal (hops, index
     #: builds, hop-cache hits/misses, rows probed).
     engine_stats: ExecutionStats = field(default_factory=ExecutionStats)
+    #: Feature-scoring counters of the traversal (batches scored, features
+    #: ranked, code-cache activity, scalar fallbacks).
+    selection_stats: SelectionStats = field(default_factory=SelectionStats)
 
     def top(self, k: int) -> tuple[RankedPath, ...]:
         """The ``k`` best-scoring paths."""
@@ -106,9 +117,11 @@ class AugmentationResult:
             f"explored {self.discovery.n_paths_explored} paths, "
             f"pruned {self.discovery.n_paths_pruned_quality} on quality, "
             f"{self.discovery.n_joins_pruned_similarity} join columns on similarity",
-            f"feature selection {self.discovery.feature_selection_seconds:.2f}s, "
+            f"discovery {self.discovery.discovery_seconds:.2f}s "
+            f"(feature selection {self.discovery.feature_selection_seconds:.2f}s), "
             f"total {self.total_seconds:.2f}s, model {self.model_name}",
             f"engine: {self.combined_engine_stats.describe()}",
+            f"selection: {self.discovery.selection_stats.describe()}",
         ]
         if self.best is not None:
             lines.append(f"best accuracy {self.best.accuracy:.4f} on path:")

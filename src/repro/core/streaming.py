@@ -13,6 +13,16 @@ The selected-feature set persists across the whole traversal, exactly like
 the global ``R_sel`` of Algorithm 1.  Join-column features are exempt from
 elimination because they carry the path (Section V-A); they are simply
 never offered to the selector.
+
+When ``config.enable_selection_kernels`` is on (the default), scoring runs
+through the vectorised kernels of :mod:`repro.selection.kernels` and a
+**persistent code cache**: the discretised codes (and entropy terms) of
+the label and every accepted feature are stored once at acceptance time,
+so the redundancy stage stops re-binning the entire selected set — an
+O(|S|·n) cost that grows quadratically over a traversal — on every hop.
+Scores are bit-identical with the kernels on or off; the
+:class:`repro.selection.SelectionStats` counters on :attr:`stats` record
+how much work the cache saved.
 """
 
 from __future__ import annotations
@@ -22,8 +32,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SelectionError
+from ..selection.kernels import SelectionCodeCache, batch_redundancy_scores
 from ..selection.redundancy import redundancy_scores
 from ..selection.select_k_best import select_k_best
+from ..selection.stats import SelectionCounters, SelectionStats
 from .config import AutoFeatConfig
 
 __all__ = ["StageOutcome", "StreamingFeatureSelector"]
@@ -58,6 +70,13 @@ class StreamingFeatureSelector:
         self._label = label
         self._selected_names: list[str] = []
         self._selected_columns: list[np.ndarray] = []
+        self._counters = SelectionCounters()
+        self._use_kernels = config.enable_selection_kernels
+        self._code_cache = (
+            SelectionCodeCache(label, self._counters)
+            if self._use_kernels
+            else None
+        )
 
     @property
     def selected_names(self) -> list[str]:
@@ -68,6 +87,17 @@ class StreamingFeatureSelector:
     def n_selected(self) -> int:
         return len(self._selected_names)
 
+    @property
+    def stats(self) -> SelectionStats:
+        """Frozen snapshot of the run's scoring counters."""
+        return self._counters.snapshot()
+
+    def _accept(self, name: str, column: np.ndarray) -> None:
+        self._selected_names.append(name)
+        self._selected_columns.append(column)
+        if self._code_cache is not None:
+            self._code_cache.add(column)
+
     def seed_with(self, names: list[str], matrix: np.ndarray) -> None:
         """Initialise the selected set with the base table's features."""
         matrix = np.asarray(matrix, dtype=np.float64)
@@ -77,8 +107,7 @@ class StreamingFeatureSelector:
                 f"{len(self._label)} rows x {len(names)} features"
             )
         for i, name in enumerate(names):
-            self._selected_names.append(name)
-            self._selected_columns.append(matrix[:, i])
+            self._accept(name, matrix[:, i])
 
     def _selected_matrix(self) -> np.ndarray | None:
         if not self._selected_columns:
@@ -105,6 +134,7 @@ class StreamingFeatureSelector:
             return StageOutcome((), (), (), ())
 
         config = self._config
+        self._counters.batches_scored += 1
         if config.use_relevance:
             outcome = select_k_best(
                 matrix,
@@ -113,6 +143,8 @@ class StreamingFeatureSelector:
                 metric=config.relevance_metric,
                 min_score=config.min_relevance,
                 seed=config.seed,
+                use_kernels=self._use_kernels,
+                counters=self._counters,
             )
             relevant_idx = list(outcome.indices)
             relevant_scores = list(outcome.scores)
@@ -126,12 +158,20 @@ class StreamingFeatureSelector:
 
         candidate_matrix = matrix[:, relevant_idx]
         if config.use_redundancy:
-            scores = redundancy_scores(
-                candidate_matrix,
-                self._selected_matrix(),
-                self._label,
-                method=config.redundancy_method,
-            )
+            if self._code_cache is not None:
+                scores = batch_redundancy_scores(
+                    candidate_matrix,
+                    self._code_cache,
+                    method=config.redundancy_method,
+                    counters=self._counters,
+                )
+            else:
+                scores = redundancy_scores(
+                    candidate_matrix,
+                    self._selected_matrix(),
+                    self._label,
+                    method=config.redundancy_method,
+                )
             keep = [i for i, s in enumerate(scores) if s > 0.0]
             accepted_scores = tuple(float(scores[i]) for i in keep)
         else:
@@ -140,8 +180,7 @@ class StreamingFeatureSelector:
 
         accepted_names = tuple(relevant_names[i] for i in keep)
         for i in keep:
-            self._selected_names.append(relevant_names[i])
-            self._selected_columns.append(candidate_matrix[:, i])
+            self._accept(relevant_names[i], candidate_matrix[:, i])
 
         return StageOutcome(
             relevant_names=relevant_names,

@@ -31,7 +31,9 @@ class Table:
         joined (``"table.column"``).
     """
 
-    __slots__ = ("_columns", "_name", "_n_rows")
+    # __weakref__ lets callers key per-table caches on weak references
+    # (e.g. the ComaMatcher profile cache) instead of reusable id()s.
+    __slots__ = ("_columns", "_name", "_n_rows", "__weakref__")
 
     def __init__(
         self,

@@ -14,6 +14,7 @@ the noise regime AutoFeat's pruning is evaluated against.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 from ..dataframe import Table
@@ -91,14 +92,28 @@ class ComaMatcher:
         self._instance_weight = instance_weight / total
         self._min_score = min_score
         self._key_like_only = key_like_only
-        self._profile_cache: dict[int, TableProfile] = {}
+        # Keyed on id(table) but guarded by a weak reference: a bare id()
+        # key can be silently reused for a *different* table once the
+        # original is garbage-collected, serving a stale profile.  The
+        # stored weakref proves the entry still belongs to this exact
+        # object, and its callback evicts the entry when the table dies
+        # (unless the slot was already re-occupied by a live table).
+        self._profile_cache: dict[int, tuple[weakref.ref[Table], TableProfile]] = {}
+
+    def _evict_profile(self, key: int, ref: weakref.ref) -> None:
+        entry = self._profile_cache.get(key)
+        if entry is not None and entry[0] is ref:
+            del self._profile_cache[key]
 
     def _profiles(self, table: Table) -> TableProfile:
-        cached = self._profile_cache.get(id(table))
-        if cached is None:
-            cached = profile_table(table)
-            self._profile_cache[id(table)] = cached
-        return cached
+        key = id(table)
+        entry = self._profile_cache.get(key)
+        if entry is not None and entry[0]() is table:
+            return entry[1]
+        profile = profile_table(table)
+        ref = weakref.ref(table, lambda r, key=key: self._evict_profile(key, r))
+        self._profile_cache[key] = (ref, profile)
+        return profile
 
     @staticmethod
     def _key_like(profile: ColumnProfile) -> bool:

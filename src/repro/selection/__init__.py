@@ -10,6 +10,14 @@ from .online import (
     FastOSFSSelector,
     partial_correlation_pvalue,
 )
+from .kernels import (
+    SelectionCodeCache,
+    batch_redundancy_scores,
+    batch_relevance_scores,
+    batch_spearman_scores,
+    rank_matrix,
+)
+from .stats import SelectionCounters, SelectionStats
 from .entropy import (
     conditional_mutual_information,
     discretize,
@@ -21,6 +29,7 @@ from .entropy import (
 from .redundancy import (
     REDUNDANCY_METHODS,
     greedy_select,
+    linear_coefficients,
     RedundancyResult,
     redundancy_score,
     redundancy_scores,
@@ -54,7 +63,15 @@ __all__ = [
     "redundancy_score",
     "redundancy_scores",
     "greedy_select",
+    "linear_coefficients",
     "REDUNDANCY_METHODS",
+    "rank_matrix",
+    "batch_spearman_scores",
+    "batch_relevance_scores",
+    "batch_redundancy_scores",
+    "SelectionCodeCache",
+    "SelectionCounters",
+    "SelectionStats",
     "SelectionOutcome",
     "select_k_best",
     "select_k_best_named",

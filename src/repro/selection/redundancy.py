@@ -42,11 +42,31 @@ __all__ = [
     "redundancy_score",
     "redundancy_scores",
     "greedy_select",
+    "linear_coefficients",
     "REDUNDANCY_METHODS",
     "MIFS_BETA",
 ]
 
 MIFS_BETA = 0.5
+
+
+def linear_coefficients(method: str, n_selected: int) -> tuple[float, float] | None:
+    """(β, λ) of Equation (1) for the linear criteria; None for max-form.
+
+    Single source of truth shared by the scalar scorers below and the
+    batched kernels in :mod:`repro.selection.kernels`, so both paths weight
+    the redundancy/conditional sums identically.
+    """
+    if method == "mifs":
+        return MIFS_BETA, 0.0
+    if method == "mrmr":
+        return (1.0 / n_selected if n_selected else 0.0), 0.0
+    if method == "cife":
+        return 1.0, 1.0
+    if method == "jmi":
+        w = 1.0 / n_selected if n_selected else 0.0
+        return w, w
+    return None
 
 
 @dataclass(frozen=True)
@@ -90,21 +110,23 @@ def _linear_combination(
 
 
 def _mifs(candidate, selected, label) -> RedundancyResult:
-    return _linear_combination(candidate, selected, label, beta=MIFS_BETA, lam=0.0)
+    beta, lam = linear_coefficients("mifs", len(selected))
+    return _linear_combination(candidate, selected, label, beta=beta, lam=lam)
 
 
 def _mrmr(candidate, selected, label) -> RedundancyResult:
-    beta = 1.0 / len(selected) if selected else 0.0
-    return _linear_combination(candidate, selected, label, beta=beta, lam=0.0)
+    beta, lam = linear_coefficients("mrmr", len(selected))
+    return _linear_combination(candidate, selected, label, beta=beta, lam=lam)
 
 
 def _cife(candidate, selected, label) -> RedundancyResult:
-    return _linear_combination(candidate, selected, label, beta=1.0, lam=1.0)
+    beta, lam = linear_coefficients("cife", len(selected))
+    return _linear_combination(candidate, selected, label, beta=beta, lam=lam)
 
 
 def _jmi(candidate, selected, label) -> RedundancyResult:
-    w = 1.0 / len(selected) if selected else 0.0
-    return _linear_combination(candidate, selected, label, beta=w, lam=w)
+    beta, lam = linear_coefficients("jmi", len(selected))
+    return _linear_combination(candidate, selected, label, beta=beta, lam=lam)
 
 
 def _cmim(candidate, selected, label) -> RedundancyResult:
@@ -171,6 +193,14 @@ def greedy_select(
     with the highest J against the currently-selected set is added.  This
     is the standalone redundancy-metric evaluation protocol of the paper's
     Figure 3b.
+
+    The per-candidate Σ I(X_j;X_k) / Σ I(X_j;X_k|Y) sums (and the running
+    max for CMIM) are accumulated incrementally: each greedy step adds the
+    one MI term contributed by the feature just selected instead of
+    re-summing over the whole selected set, turning the inner loop from
+    O(d·|S|) MI evaluations per step into O(d).  Terms are added in
+    selection order, so the floating-point sums — and hence the selected
+    indices — are bit-identical to the naive rescoring loop.
     """
     X = np.asarray(features, dtype=np.float64)
     if X.ndim != 2:
@@ -183,22 +213,53 @@ def greedy_select(
             f"expected one of {sorted(REDUNDANCY_METHODS)}"
         )
     label_codes = discretize(np.asarray(label, dtype=np.float64))
-    candidate_codes = [discretize(X[:, j]) for j in range(X.shape[1])]
-    scorer = REDUNDANCY_METHODS[method]
+    d = X.shape[1]
+    candidate_codes = [discretize(X[:, j]) for j in range(d)]
+    relevance = [mutual_information(c, label_codes) for c in candidate_codes]
+    max_form = linear_coefficients(method, 0) is None
+    track_conditional = not max_form and linear_coefficients(method, 1)[1] != 0.0
+    red_sum = [0.0] * d
+    cond_sum = [0.0] * d
+    worst = [0.0] * d
     selected: list[int] = []
-    selected_codes: list[np.ndarray] = []
-    while len(selected) < min(k, X.shape[1]):
+    in_selected = [False] * d
+    while len(selected) < min(k, d):
+        if max_form:
+            beta = lam = 0.0
+        else:
+            beta, lam = linear_coefficients(method, len(selected))
         best_j, best_score = -1, -np.inf
-        for j in range(X.shape[1]):
-            if j in selected:
+        for j in range(d):
+            if in_selected[j]:
                 continue
-            score = scorer(candidate_codes[j], selected_codes, label_codes).score
+            if max_form:
+                score = float(relevance[j] - worst[j])
+            else:
+                score = float(
+                    relevance[j] - beta * red_sum[j] + lam * cond_sum[j]
+                )
             if score > best_score:
                 best_j, best_score = j, score
         if best_j < 0:
             break
         selected.append(best_j)
-        selected_codes.append(candidate_codes[best_j])
+        in_selected[best_j] = True
+        new_codes = candidate_codes[best_j]
+        for j in range(d):
+            if in_selected[j]:
+                continue
+            mi = mutual_information(new_codes, candidate_codes[j])
+            if max_form:
+                penalty = mi - conditional_mutual_information(
+                    new_codes, candidate_codes[j], label_codes
+                )
+                worst[j] = max(worst[j], penalty)
+            else:
+                red_sum[j] += mi
+                if track_conditional:
+                    cond_sum[j] += conditional_mutual_information(
+                        new_codes, candidate_codes[j], label_codes
+                    )
     return selected
 
 

@@ -179,12 +179,19 @@ def relevance_scores(
             f"{sorted(RELEVANCE_METRICS) + ['relief']}"
         )
     if metric == "spearman":
-        # Rank the label once per call instead of once per feature.
+        # Rank the label once per call instead of once per feature: when a
+        # column has no NaN (and the label is finite) its pairwise-complete
+        # mask keeps every row, so the label ranking is column-independent.
         y = np.asarray(label, dtype=np.float64)
+        y_finite = np.isfinite(y)
+        label_ranks = _rankdata(y) if bool(y_finite.all()) else None
         out = np.empty(X.shape[1], dtype=np.float64)
         for j in range(X.shape[1]):
             x = X[:, j]
-            keep = np.isfinite(x) & np.isfinite(y)
+            keep = np.isfinite(x) & y_finite
+            if label_ranks is not None and bool(keep.all()):
+                out[j] = pearson_relevance(_rankdata(x), label_ranks)
+                continue
             kept = x[keep]
             if kept.size < 2:
                 out[j] = 0.0

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..errors import SelectionError
 from .relevance import relevance_scores
+from .stats import SelectionCounters
 
 __all__ = ["SelectionOutcome", "select_k_best", "select_k_best_named"]
 
@@ -35,6 +36,8 @@ def select_k_best(
     metric: str = "spearman",
     min_score: float = 0.0,
     seed: int = 0,
+    use_kernels: bool = False,
+    counters: SelectionCounters | None = None,
 ) -> SelectionOutcome:
     """Keep the ``k`` highest-scoring feature columns.
 
@@ -43,10 +46,23 @@ def select_k_best(
     irrelevant", which Algorithm 1 treats as a signal (but not a pruning
     decision, since irrelevant intermediates may still carry the path).
     Ties are broken by column index for determinism.
+
+    ``use_kernels`` routes scoring through the vectorised kernels of
+    :mod:`repro.selection.kernels` (bit-identical scores, so the outcome is
+    unchanged); ``counters`` collects scoring statistics either way.
     """
     if k <= 0:
         raise SelectionError(f"k must be positive, got {k}")
-    scores = relevance_scores(features, label, metric=metric, seed=seed)
+    if use_kernels:
+        from .kernels import batch_relevance_scores
+
+        scores = batch_relevance_scores(
+            features, label, metric=metric, seed=seed, counters=counters
+        )
+    else:
+        if counters is not None:
+            counters.features_ranked += int(np.asarray(features).shape[1])
+        scores = relevance_scores(features, label, metric=metric, seed=seed)
     order = np.argsort(-scores, kind="stable")
     kept = [int(j) for j in order[:k] if scores[j] > min_score]
     return SelectionOutcome(
@@ -63,6 +79,8 @@ def select_k_best_named(
     metric: str = "spearman",
     min_score: float = 0.0,
     seed: int = 0,
+    use_kernels: bool = False,
+    counters: SelectionCounters | None = None,
 ) -> tuple[list[str], list[float]]:
     """Name-oriented wrapper over :func:`select_k_best`."""
     if np.asarray(features).shape[1] != len(feature_names):
@@ -71,7 +89,14 @@ def select_k_best_named(
             f"{len(feature_names)} names"
         )
     outcome = select_k_best(
-        features, label, k, metric=metric, min_score=min_score, seed=seed
+        features,
+        label,
+        k,
+        metric=metric,
+        min_score=min_score,
+        seed=seed,
+        use_kernels=use_kernels,
+        counters=counters,
     )
     names = [feature_names[j] for j in outcome.indices]
     return names, list(outcome.scores)

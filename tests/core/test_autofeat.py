@@ -127,6 +127,49 @@ class TestDeterminism:
         ]
 
 
+class TestSelectionKernelParity:
+    """``enable_selection_kernels`` must be an exact A/B switch end to end."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, drg):
+        on = AutoFeat(
+            drg, AutoFeatConfig(sample_size=500, seed=1, enable_selection_kernels=True)
+        ).discover("base", "label")
+        off = AutoFeat(
+            drg, AutoFeatConfig(sample_size=500, seed=1, enable_selection_kernels=False)
+        ).discover("base", "label")
+        return on, off
+
+    def test_ranked_paths_identical(self, pair):
+        on, off = pair
+        assert [r.path.describe() for r in on.ranked_paths] == [
+            r.path.describe() for r in off.ranked_paths
+        ]
+        for a, b in zip(on.ranked_paths, off.ranked_paths):
+            assert a.score == b.score
+            assert a.selected_features == b.selected_features
+            assert a.relevance_scores == b.relevance_scores
+            assert a.redundancy_scores == b.redundancy_scores
+
+    def test_stats_reflect_kernel_usage(self, pair):
+        on, off = pair
+        assert on.selection_stats.codes_cached > 0
+        assert on.selection_stats.codes_reused > 0
+        assert off.selection_stats.codes_cached == 0
+        assert off.selection_stats.codes_reused == 0
+        assert (
+            on.selection_stats.batches_scored
+            == off.selection_stats.batches_scored
+            > 0
+        )
+
+    def test_summary_reports_selection_stats(self, drg, discovery):
+        autofeat = AutoFeat(drg, AutoFeatConfig(sample_size=500, seed=1))
+        result = autofeat.train_top_k(discovery, "lightgbm")
+        assert "selection:" in result.summary()
+        assert "codes cached" in result.summary()
+
+
 class TestConfigEffects:
     def test_max_path_length_one_blocks_transitive(self, drg):
         config = AutoFeatConfig(sample_size=500, max_path_length=1, seed=1)

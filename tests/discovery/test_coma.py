@@ -1,8 +1,11 @@
 """Unit tests for the COMA-style composite matcher."""
 
+import gc
+
 import numpy as np
 import pytest
 
+import repro.discovery.coma as coma_module
 from repro.dataframe import Table
 from repro.discovery import ComaMatcher
 from repro.errors import DiscoveryError
@@ -91,6 +94,59 @@ class TestMatching:
     def test_invalid_weights_raise(self):
         with pytest.raises(DiscoveryError):
             ComaMatcher(name_weight=0.0, instance_weight=0.0)
+
+
+class TestProfileCache:
+    def test_same_object_profiled_once(self, tables, monkeypatch):
+        calls = []
+        real = coma_module.profile_table
+
+        def counting(table):
+            calls.append(table.name)
+            return real(table)
+
+        monkeypatch.setattr(coma_module, "profile_table", counting)
+        matcher = ComaMatcher()
+        matcher.match(*tables)
+        matcher.match(*tables)
+        assert sorted(calls) == ["applicants", "credit"]
+
+    def test_entry_evicted_when_table_dies(self):
+        matcher = ComaMatcher()
+        table = Table({"key": list(range(50))}, name="ephemeral")
+        matcher._profiles(table)
+        assert len(matcher._profile_cache) == 1
+        del table
+        gc.collect()
+        assert matcher._profile_cache == {}
+
+    def test_id_reuse_does_not_serve_stale_profile(self):
+        # Simulate CPython reusing a dead table's id() for a new table:
+        # plant table a's cache entry under table b's key.  The weakref
+        # guard must notice the mismatch and re-profile instead of serving
+        # a's profile for b.
+        matcher = ComaMatcher()
+        a = Table({"alpha": list(range(40))}, name="a")
+        b = Table({"beta": list(range(40, 80))}, name="b")
+        matcher._profiles(a)
+        matcher._profile_cache[id(b)] = matcher._profile_cache.pop(id(a))
+        profile = matcher._profiles(b)
+        assert profile.table_name == "b"
+        assert [c.column_name for c in profile.columns] == ["beta"]
+
+    def test_dead_ref_eviction_skips_reoccupied_slot(self):
+        # If an entry was already replaced (same id, new live table), the
+        # dying table's callback must not evict the newcomer's entry.
+        matcher = ComaMatcher()
+        a = Table({"alpha": list(range(30))}, name="a")
+        matcher._profiles(a)
+        key = id(a)
+        stale_ref = matcher._profile_cache[key][0]
+        b = Table({"beta": list(range(30))}, name="b")
+        profile_b = coma_module.profile_table(b)
+        matcher._profile_cache[key] = (coma_module.weakref.ref(b), profile_b)
+        matcher._evict_profile(key, stale_ref)
+        assert matcher._profile_cache[key][1] is profile_b
 
 
 class TestScoreComposition:
