@@ -1,11 +1,16 @@
-.PHONY: check test bench-engine bench-selection
+.PHONY: check test test-faults bench-engine bench-selection
 
-# Tier-1 tests + engine-cache and selection-kernel micro-benches (smoke mode).
+# Fault-isolation fast gate + tier-1 tests + engine-cache and
+# selection-kernel micro-benches (smoke mode).
 check:
 	scripts/check.sh
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+# Fast gate: just the fault-isolation suites (injector, policies, budgets).
+test-faults:
+	PYTHONPATH=src python -m pytest -q tests/engine tests/core -k fault
 
 # Full engine-cache benchmark (several lakes); writes BENCH_engine_cache.json.
 bench-engine:

@@ -19,6 +19,34 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def assert_no_failures(*results) -> None:
+    """Fail loudly when a benchmark run degraded instead of completing.
+
+    Under the default ``skip_and_record`` policy a run that hits join
+    failures still returns — with paths silently missing from its numbers.
+    Benchmark figures must come from complete runs, so every result's
+    ``failure_report`` (and, for AutoFeat results, the discovery-phase
+    report underneath) must be empty.
+    """
+    for result in results:
+        if result is None:
+            continue
+        reports = []
+        report = getattr(result, "failure_report", None)
+        if report is not None:
+            reports.append(report)
+        discovery = getattr(result, "discovery", None)
+        if discovery is not None:
+            inner = getattr(discovery, "failure_report", None)
+            if inner is not None:
+                reports.append(inner)
+        for report in reports:
+            if not report.ok:
+                raise AssertionError(
+                    f"benchmark run recorded failures: {report.describe()}"
+                )
+
+
 def run_once(benchmark, fn):
     """Time ``fn`` exactly once through pytest-benchmark.
 

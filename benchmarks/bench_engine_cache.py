@@ -29,6 +29,8 @@ import sys
 import time
 from pathlib import Path
 
+from _util import assert_no_failures
+
 from repro.core import AutoFeat, AutoFeatConfig
 from repro.datasets import build_dataset, datalake_drg
 
@@ -61,6 +63,7 @@ def bench_lake(name: str, sample_size: int) -> dict:
         started = time.perf_counter()
         discovery = autofeat.discover(bundle.base_name, bundle.label_column)
         seconds = time.perf_counter() - started
+        assert_no_failures(discovery)
         key = "cache_on" if cached else "cache_off"
         runs[key] = {
             "discovery_seconds": round(seconds, 4),

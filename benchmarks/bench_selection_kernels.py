@@ -33,6 +33,8 @@ import json
 import sys
 from pathlib import Path
 
+from _util import assert_no_failures
+
 from repro.core import AutoFeat, AutoFeatConfig
 from repro.datasets import build_dataset, datalake_drg
 
@@ -76,6 +78,7 @@ def bench_lake(name: str, sample_size: int, repeats: int) -> dict:
         discovery = None
         for __ in range(repeats):
             discovery = autofeat.discover(bundle.base_name, bundle.label_column)
+            assert_no_failures(discovery)
             seconds = discovery.feature_selection_seconds
             if best_seconds is None or seconds < best_seconds:
                 best_seconds = seconds

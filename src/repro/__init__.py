@@ -27,12 +27,24 @@ from .core import (
     autofeat_augment,
 )
 from .dataframe import Column, DType, JoinIndex, Table
-from .engine import ExecutionStats, HopCache, JoinEngine
+from .engine import (
+    ExecutionStats,
+    FailureRecord,
+    FailureReport,
+    FaultInjector,
+    FaultManager,
+    HopCache,
+    JoinEngine,
+)
 from .errors import (
     ConfigError,
     DatasetError,
     DiscoveryError,
+    ErrorBudgetExceeded,
+    FaultError,
     GraphError,
+    HopBudgetExceeded,
+    InjectedFaultError,
     JoinError,
     ModelError,
     ReproError,
@@ -58,12 +70,20 @@ __all__ = [
     "JoinEngine",
     "HopCache",
     "ExecutionStats",
+    "FailureRecord",
+    "FailureReport",
+    "FaultManager",
+    "FaultInjector",
     "DatasetRelationGraph",
     "KFKConstraint",
     "JoinPath",
     "ReproError",
     "SchemaError",
     "JoinError",
+    "FaultError",
+    "HopBudgetExceeded",
+    "InjectedFaultError",
+    "ErrorBudgetExceeded",
     "GraphError",
     "SelectionError",
     "ModelError",

@@ -21,7 +21,13 @@ import time
 import numpy as np
 
 from ..dataframe import Table
-from ..engine import JoinEngine
+from ..engine import (
+    DEFAULT_ERROR_BUDGET,
+    DEFAULT_MAX_RETRIES,
+    FaultInjector,
+    FaultManager,
+    JoinEngine,
+)
 from ..graph import DatasetRelationGraph
 from ..ml import RandomForestClassifier, TabularEncoder, encode_labels, evaluate_accuracy
 from .common import BaselineResult, join_neighbor
@@ -77,16 +83,31 @@ def run_arda(
     label_column: str,
     model_name: str = "lightgbm",
     seed: int = 0,
+    failure_policy: str = "skip_and_record",
+    error_budget: int = DEFAULT_ERROR_BUDGET,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    fault_injector: FaultInjector | None = None,
 ) -> BaselineResult:
-    """Full ARDA pipeline: star join, RIFS, model-based threshold pick."""
+    """Full ARDA pipeline: star join, RIFS, model-based threshold pick.
+
+    Star-join hop failures are handled per ``failure_policy`` and
+    accounted on the result's ``failure_report``.
+    """
     started = time.perf_counter()
-    engine = JoinEngine(drg, seed=seed)
+    engine = JoinEngine(drg, seed=seed, fault_injector=fault_injector)
+    faults = FaultManager(
+        policy=failure_policy,
+        error_budget=error_budget,
+        max_retries=max_retries,
+        stage="arda",
+    )
     base = drg.table(base_name)
     current = base
     joined_tables = 0
     for neighbor in drg.neighbors(base_name):
         result = join_neighbor(
-            current, drg, base_name, neighbor, base_name, seed, engine=engine
+            current, drg, base_name, neighbor, base_name, seed,
+            engine=engine, faults=faults,
         )
         if result is None:
             continue
@@ -128,4 +149,5 @@ def run_arda(
         n_joined_tables=joined_tables,
         n_features_used=len(best_features),
         engine_stats=engine.snapshot(),
+        failure_report=faults.report(),
     )

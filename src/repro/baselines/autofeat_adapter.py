@@ -8,6 +8,7 @@ BaselineResult``.
 from __future__ import annotations
 
 from ..core import AutoFeat, AutoFeatConfig
+from ..engine import FaultInjector
 from ..graph import DatasetRelationGraph
 from .common import BaselineResult
 
@@ -21,10 +22,18 @@ def run_autofeat(
     model_name: str = "lightgbm",
     config: AutoFeatConfig | None = None,
     seed: int = 0,
+    fault_injector: FaultInjector | None = None,
 ) -> BaselineResult:
-    """Run the full AutoFeat pipeline and normalise its result record."""
+    """Run the full AutoFeat pipeline and normalise its result record.
+
+    The failure policy lives on ``config`` (``failure_policy`` /
+    ``error_budget`` / ``max_retries``); the combined discovery+training
+    failure accounting lands on the result's ``failure_report``.
+    """
     config = (config or AutoFeatConfig()).with_overrides(seed=seed)
-    result = AutoFeat(drg, config).augment(base_name, label_column, model_name)
+    result = AutoFeat(drg, config, fault_injector=fault_injector).augment(
+        base_name, label_column, model_name
+    )
     best = result.best
     return BaselineResult(
         method="AutoFeat",
@@ -37,4 +46,5 @@ def run_autofeat(
         n_features_used=best.n_features_used if best else 0,
         engine_stats=result.combined_engine_stats,
         selection_stats=result.discovery.selection_stats,
+        failure_report=result.combined_failure_report,
     )

@@ -5,7 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..dataframe import Table
-from ..engine import ExecutionStats, JoinEngine
+from ..engine import ExecutionStats, FailureReport, FaultManager, JoinEngine
+from ..errors import JoinError
 from ..graph import DatasetRelationGraph
 from ..selection.stats import SelectionStats
 
@@ -37,6 +38,9 @@ class BaselineResult:
     #: layer (AutoFeat, JoinAll+F); None for model-in-the-loop selectors
     #: (ARDA's RIFS, MAB) that never touch it.
     selection_stats: SelectionStats | None = None
+    #: Per-run failure accounting under the method's failure policy; None
+    #: for BASE-style methods that never join.
+    failure_report: FailureReport | None = None
 
     def row(self) -> dict:
         """Flat dict for report tables."""
@@ -60,20 +64,30 @@ def join_neighbor(
     base_name: str,
     seed: int = 0,
     engine: JoinEngine | None = None,
+    faults: FaultManager | None = None,
 ) -> tuple[Table, list[str]] | None:
     """Join ``target`` onto the running table via the best join option.
 
     Returns ``(joined, contributed_columns)`` or None when no join option
-    exists or the join column is missing from the running table.  Pass the
-    caller's :class:`JoinEngine` so repeated visits to the same target
-    table reuse its build-side index; a throwaway engine is used otherwise.
+    exists or the hop failed.  Pass the caller's :class:`JoinEngine` so
+    repeated visits to the same target table reuse its build-side index; a
+    throwaway engine is used otherwise.  Pass the caller's
+    :class:`FaultManager` to run the hop under its failure policy (failed
+    hops are then recorded, and ``fail_fast`` propagates instead of
+    returning None); without one, infeasible joins are silently skipped.
     """
     options = drg.best_join_options(source, target)
     if not options:
         return None
     if engine is None:
         engine = JoinEngine(drg, seed=seed, enable_cache=False)
-    try:
+
+    def hop() -> tuple[Table, list[str]]:
         return engine.apply_hop(current, options[0], base_name)
-    except Exception:
-        return None
+
+    if faults is None:
+        try:
+            return hop()
+        except JoinError:
+            return None
+    return faults.execute(hop, base=base_name, edge=options[0])

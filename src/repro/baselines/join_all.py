@@ -18,7 +18,13 @@ from __future__ import annotations
 import time
 
 from ..dataframe import Table
-from ..engine import JoinEngine
+from ..engine import (
+    DEFAULT_ERROR_BUDGET,
+    DEFAULT_MAX_RETRIES,
+    FaultInjector,
+    FaultManager,
+    JoinEngine,
+)
 from ..errors import JoinError
 from ..graph import DatasetRelationGraph, bfs_levels, join_all_path_count
 from ..ml import evaluate_accuracy
@@ -36,6 +42,7 @@ def join_all_table(
     base_name: str,
     seed: int = 0,
     engine: JoinEngine | None = None,
+    faults: FaultManager | None = None,
 ) -> tuple[Table, int]:
     """Join every reachable table in BFS order; returns (wide, n_joined)."""
     if engine is None:
@@ -59,7 +66,8 @@ def join_all_table(
         result = None
         for source in sources:
             result = join_neighbor(
-                current, drg, source, name, base_name, seed, engine=engine
+                current, drg, source, name, base_name, seed,
+                engine=engine, faults=faults,
             )
             if result is not None:
                 break
@@ -80,12 +88,17 @@ def run_join_all(
     kappa: int = 15,
     seed: int = 0,
     feasibility_cap: int = FEASIBILITY_CAP,
+    failure_policy: str = "skip_and_record",
+    error_budget: int = DEFAULT_ERROR_BUDGET,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    fault_injector: FaultInjector | None = None,
 ) -> BaselineResult:
     """JoinAll (``with_filter=False``) or JoinAll+F (``True``).
 
     Raises :class:`JoinError` when Equation (3) puts the number of
     orderings past ``feasibility_cap`` — the "did not finish within the
-    time constraint" outcome of the paper.
+    time constraint" outcome of the paper.  Hop failures are handled per
+    ``failure_policy`` and accounted on the result's ``failure_report``.
     """
     orderings = join_all_path_count(drg.graph, base_name)
     if orderings > feasibility_cap:
@@ -94,8 +107,14 @@ def run_join_all(
             f"join orderings exceed the cap of {feasibility_cap}"
         )
     started = time.perf_counter()
-    engine = JoinEngine(drg, seed=seed)
-    wide, joined = join_all_table(drg, base_name, seed, engine=engine)
+    engine = JoinEngine(drg, seed=seed, fault_injector=fault_injector)
+    faults = FaultManager(
+        policy=failure_policy,
+        error_budget=error_budget,
+        max_retries=max_retries,
+        stage="join_all",
+    )
+    wide, joined = join_all_table(drg, base_name, seed, engine=engine, faults=faults)
     fs_seconds = 0.0
     feature_names = [n for n in wide.column_names if n != label_column]
     counters = SelectionCounters()
@@ -130,4 +149,5 @@ def run_join_all(
         n_features_used=len(feature_names),
         engine_stats=engine.snapshot(),
         selection_stats=counters.snapshot() if with_filter else None,
+        failure_report=faults.report(),
     )

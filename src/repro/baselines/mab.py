@@ -22,7 +22,13 @@ import time
 from dataclasses import dataclass, field
 
 from ..dataframe import Table
-from ..engine import JoinEngine
+from ..engine import (
+    DEFAULT_ERROR_BUDGET,
+    DEFAULT_MAX_RETRIES,
+    FaultInjector,
+    FaultManager,
+    JoinEngine,
+)
 from ..graph import DatasetRelationGraph
 from ..ml import evaluate_accuracy
 from .common import BaselineResult
@@ -70,10 +76,25 @@ def run_mab(
     budget: int = 12,
     exploration: float = 0.5,
     seed: int = 0,
+    failure_policy: str = "skip_and_record",
+    error_budget: int = DEFAULT_ERROR_BUDGET,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    fault_injector: FaultInjector | None = None,
 ) -> BaselineResult:
-    """UCB1 bandit augmentation with a pull budget."""
+    """UCB1 bandit augmentation with a pull budget.
+
+    Failed pulls are handled per ``failure_policy`` (a failing join
+    penalises and retires the arm, exactly as an unrewarding pull did
+    before) and accounted on the result's ``failure_report``.
+    """
     started = time.perf_counter()
-    engine = JoinEngine(drg, seed=seed)
+    engine = JoinEngine(drg, seed=seed, fault_injector=fault_injector)
+    faults = FaultManager(
+        policy=failure_policy,
+        error_budget=error_budget,
+        max_retries=max_retries,
+        stage="mab",
+    )
     base = drg.table(base_name)
     current = base
     current_acc = evaluate_accuracy(current, label_column, model_name, seed=seed)
@@ -105,10 +126,11 @@ def run_mab(
         pull_started = time.perf_counter()
         result = None
         if options:
-            try:
-                result = engine.apply_hop(current, options[0], base_name)
-            except Exception:
-                result = None
+            result = faults.execute(
+                lambda: engine.apply_hop(current, options[0], base_name),
+                base=base_name,
+                edge=options[0],
+            )
         if result is None:
             fs_seconds += time.perf_counter() - pull_started
             arm.total_reward -= 0.01
@@ -140,4 +162,5 @@ def run_mab(
         n_joined_tables=len(joined),
         n_features_used=current.n_cols - 1,
         engine_stats=engine.snapshot(),
+        failure_report=faults.report(),
     )

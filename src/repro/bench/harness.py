@@ -145,6 +145,15 @@ def compare_methods(
                         }
                     )
                     continue
+                report = result.failure_report
+                if report is not None and not report.ok:
+                    # Figures must come from complete runs: a silently
+                    # degraded result (skipped paths) would corrupt the
+                    # comparison rather than fail it.
+                    raise AssertionError(
+                        f"{method} on {dataset!r} ({model}) recorded "
+                        f"failures: {report.describe()}"
+                    )
                 row = result.row()
                 row["dataset"] = dataset
                 row["setting"] = setting

@@ -21,8 +21,8 @@ import time
 from collections import deque
 
 from ..dataframe import Table, stratified_sample
-from ..engine import JoinEngine
-from ..errors import JoinError
+from ..engine import FaultInjector, FaultManager, JoinEngine
+from ..errors import FaultError, JoinError
 from ..graph import DatasetRelationGraph, JoinPath
 from ..ml import evaluate_accuracy
 from .config import AutoFeatConfig
@@ -36,11 +36,45 @@ __all__ = ["AutoFeat", "autofeat_augment"]
 
 
 class AutoFeat:
-    """Feature discovery over a Dataset Relation Graph."""
+    """Feature discovery over a Dataset Relation Graph.
 
-    def __init__(self, drg: DatasetRelationGraph, config: AutoFeatConfig | None = None):
+    ``fault_injector`` installs a deterministic
+    :class:`~repro.engine.FaultInjector` on every engine the pipeline
+    creates, so graceful degradation under ``config.failure_policy`` is
+    testable end to end.
+    """
+
+    def __init__(
+        self,
+        drg: DatasetRelationGraph,
+        config: AutoFeatConfig | None = None,
+        fault_injector: FaultInjector | None = None,
+    ):
         self.drg = drg
         self.config = config or AutoFeatConfig()
+        self.fault_injector = fault_injector
+
+    def _engine(self) -> JoinEngine:
+        """One per-run engine carrying the config's hop budgets."""
+        config = self.config
+        return JoinEngine(
+            self.drg,
+            seed=config.seed,
+            enable_cache=config.enable_hop_cache,
+            hop_timeout_seconds=config.hop_timeout_seconds,
+            max_output_rows=config.max_hop_output_rows,
+            fault_injector=self.fault_injector,
+        )
+
+    def _faults(self, stage: str) -> FaultManager:
+        """One per-run fault manager applying the config's policy."""
+        config = self.config
+        return FaultManager(
+            policy=config.failure_policy,
+            error_budget=config.error_budget,
+            max_retries=config.max_retries,
+            stage=stage,
+        )
 
     # -- discovery (ranking) phase ---------------------------------------------
 
@@ -62,9 +96,8 @@ class AutoFeat:
         """
         config = self.config
         started = time.perf_counter()
-        engine = JoinEngine(
-            self.drg, seed=config.seed, enable_cache=config.enable_hop_cache
-        )
+        engine = self._engine()
+        faults = self._faults("discovery")
 
         base = self.drg.table(base_name)
         if label_column not in base:
@@ -88,6 +121,7 @@ class AutoFeat:
         explored = 0
         pruned_quality = 0
         pruned_similarity = 0
+        empty_contribution = 0
 
         # Each frontier entry carries the partially-joined sample and the
         # qualified features accepted along the path so far.
@@ -112,15 +146,34 @@ class AutoFeat:
                 )
                 for edge in self.drg.best_join_options(path.terminal, neighbor):
                     explored += 1
+                    # Ordinary JoinError is Algorithm 1's pruning input and
+                    # is handled below under every policy; only the fault
+                    # family (budgets, injected faults) goes through the
+                    # failure policy — fail_fast propagates it, the other
+                    # policies record the hop and skip it.
                     try:
-                        joined, contributed = engine.apply_hop(
-                            current, edge, base_name, path=path
+                        hop = faults.execute(
+                            lambda: engine.apply_hop(
+                                current, edge, base_name, path=path
+                            ),
+                            base=base_name,
+                            path=path,
+                            edge=edge,
+                            kinds=(FaultError,),
                         )
                     except JoinError:
                         pruned_quality += 1
                         continue
+                    if hop is None:
+                        continue
+                    joined, contributed = hop
                     comp = completeness(joined, contributed)
-                    if comp < config.tau:
+                    if not contributed:
+                        # A hop may contribute no columns at all; that is
+                        # not poor join quality — keep it traversable (see
+                        # the stepping-stone note below) and count it.
+                        empty_contribution += 1
+                    elif comp < config.tau:
                         pruned_quality += 1
                         continue
 
@@ -163,6 +216,8 @@ class AutoFeat:
             discovery_seconds=time.perf_counter() - started,
             engine_stats=engine.snapshot(),
             selection_stats=selector.stats,
+            n_hops_empty_contribution=empty_contribution,
+            failure_report=faults.report(),
         )
 
     # -- training phase -----------------------------------------------------------
@@ -179,12 +234,17 @@ class AutoFeat:
         plus all base-table features.  The top-k paths often share hops, so
         materialisation runs through one cached :class:`JoinEngine`; its
         counters land on ``AugmentationResult.engine_stats``.
+
+        Full-table materialisation can fail even though the sampled
+        discovery pass succeeded (the sample may have dodged the rows that
+        break a join).  Under ``skip_and_record`` /``retry`` such a path is
+        recorded on ``AugmentationResult.failure_report`` and skipped, and
+        the remaining top-k paths still train; ``fail_fast`` propagates.
         """
         started = time.perf_counter()
         config = self.config
-        engine = JoinEngine(
-            self.drg, seed=config.seed, enable_cache=config.enable_hop_cache
-        )
+        engine = self._engine()
+        faults = self._faults("training")
         base = self.drg.table(discovery.base_table)
         base_features = [
             n for n in base.column_names if n != discovery.label_column
@@ -193,7 +253,14 @@ class AutoFeat:
         trained: list[TrainedPath] = []
         tables: list[Table] = []
         for ranked in discovery.top(config.top_k):
-            table, __ = engine.materialize_path(ranked.path, base)
+            materialised = faults.execute(
+                lambda: engine.materialize_path(ranked.path, base),
+                base=discovery.base_table,
+                path=ranked.path,
+            )
+            if materialised is None:
+                continue
+            table, __ = materialised
             features = base_features + [
                 f for f in ranked.selected_features if f in table
             ]
@@ -232,6 +299,7 @@ class AutoFeat:
             total_seconds=discovery.discovery_seconds
             + (time.perf_counter() - started),
             engine_stats=engine.snapshot(),
+            failure_report=faults.report(),
         )
 
     def augment(
@@ -251,6 +319,9 @@ def autofeat_augment(
     label_column: str,
     config: AutoFeatConfig | None = None,
     model_name: str = "lightgbm",
+    fault_injector: FaultInjector | None = None,
 ) -> AugmentationResult:
     """One-call convenience wrapper around :class:`AutoFeat`."""
-    return AutoFeat(drg, config).augment(base_name, label_column, model_name)
+    return AutoFeat(drg, config, fault_injector=fault_injector).augment(
+        base_name, label_column, model_name
+    )

@@ -12,6 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..engine.faults import (
+    DEFAULT_ERROR_BUDGET,
+    DEFAULT_MAX_RETRIES,
+    FAILURE_POLICIES,
+)
 from ..errors import ConfigError
 from ..selection.redundancy import REDUNDANCY_METHODS
 from ..selection.relevance import RELEVANCE_METRICS
@@ -66,6 +71,32 @@ class AutoFeatConfig:
         (the kernels perform the same floating-point operations on the
         same buffers), so this flag exists for exact A/B verification —
         ``benchmarks/bench_selection_kernels.py`` asserts ranking parity.
+    failure_policy:
+        How a run reacts to hop/path failures (budget blowups, injected
+        faults, and — during training — full-table materialisation
+        errors).  ``"skip_and_record"`` (the default) skips the failing
+        path, records it on the result's ``failure_report`` and keeps
+        going; ``"fail_fast"`` propagates the first typed error (the
+        pre-fault-isolation behaviour); ``"retry"`` retries each failing
+        operation up to ``max_retries`` times before recording it.
+        Ordinary join infeasibilities during discovery are *pruning* input
+        for Algorithm 1 under every policy, exactly as before.
+    error_budget:
+        Recorded failures tolerated per run under ``skip_and_record`` /
+        ``retry`` before the run aborts with
+        :class:`~repro.errors.ErrorBudgetExceeded` — degradation is
+        bounded, not unconditional.
+    max_retries:
+        Retries per failing operation under the ``retry`` policy.
+    hop_timeout_seconds:
+        Per-hop wall-clock budget enforced by the
+        :class:`~repro.engine.JoinEngine` (cooperative check; a hop that
+        overruns raises :class:`~repro.errors.HopBudgetExceeded`).  None
+        disables the guard.
+    max_hop_output_rows:
+        Per-hop output-row cap enforced by the engine before any join
+        work happens (exact, because left joins through deduped indexes
+        preserve probe-side cardinality).  None disables the guard.
     seed:
         Seed for sampling and join-representative choices.
     """
@@ -83,6 +114,11 @@ class AutoFeatConfig:
     traversal: str = "bfs"
     enable_hop_cache: bool = True
     enable_selection_kernels: bool = True
+    failure_policy: str = "skip_and_record"
+    error_budget: int = DEFAULT_ERROR_BUDGET
+    max_retries: int = DEFAULT_MAX_RETRIES
+    hop_timeout_seconds: float | None = None
+    max_hop_output_rows: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -111,6 +147,27 @@ class AutoFeatConfig:
             raise ConfigError(
                 f"unknown relevance metric {self.relevance_metric!r}; "
                 f"expected one of {sorted(valid_relevance)}"
+            )
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise ConfigError(
+                f"unknown failure policy {self.failure_policy!r}; "
+                f"expected one of {list(FAILURE_POLICIES)}"
+            )
+        if self.error_budget < 0:
+            raise ConfigError(
+                f"error_budget must be >= 0, got {self.error_budget}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.hop_timeout_seconds is not None and self.hop_timeout_seconds <= 0:
+            raise ConfigError(
+                f"hop_timeout_seconds must be positive or None, "
+                f"got {self.hop_timeout_seconds}"
+            )
+        if self.max_hop_output_rows is not None and self.max_hop_output_rows < 1:
+            raise ConfigError(
+                f"max_hop_output_rows must be >= 1 or None, "
+                f"got {self.max_hop_output_rows}"
             )
         if self.redundancy_method not in REDUNDANCY_METHODS:
             raise ConfigError(

@@ -20,10 +20,17 @@ __all__ = ["completeness", "passes_quality", "similarity_pruned_count"]
 
 
 def completeness(joined: Table, contributed_columns: list[str]) -> float:
-    """1 - null ratio over the columns the join contributed."""
+    """1 - null ratio over the columns the join contributed.
+
+    A hop that contributed no columns is vacuously complete (1.0): an
+    empty contribution carries no evidence of a bad join, and scoring it
+    0.0 would quality-prune stepping-stone hops that only exist to reach a
+    relevant transitive table (``AutoFeat.discover`` counts such hops
+    separately as ``n_hops_empty_contribution``).
+    """
     present = [c for c in contributed_columns if c in joined]
     if not present:
-        return 0.0
+        return 1.0
     return 1.0 - joined.null_ratio(present)
 
 
@@ -33,7 +40,8 @@ def passes_quality(
     """Data-quality pruning rule: keep a join iff completeness >= τ.
 
     τ = 1 demands a perfect key match (no nulls at all); τ near 0 keeps
-    everything.  The paper recommends τ = 0.65 (Section VII-D).
+    everything.  The paper recommends τ = 0.65 (Section VII-D).  Joins
+    with an empty contribution always pass (vacuous completeness).
     """
     return completeness(joined, contributed_columns) >= tau
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dataframe import Table
-from ..engine import ExecutionStats
+from ..engine import ExecutionStats, FailureReport
 from ..graph import JoinPath
 from ..selection.stats import SelectionStats
 
@@ -60,6 +60,13 @@ class DiscoveryResult:
     #: Feature-scoring counters of the traversal (batches scored, features
     #: ranked, code-cache activity, scalar fallbacks).
     selection_stats: SelectionStats = field(default_factory=SelectionStats)
+    #: Hops that joined fine but contributed no columns.  They are *not*
+    #: quality-pruned (an empty contribution carries no evidence of a bad
+    #: join) — the path stays traversable as a stepping stone.
+    n_hops_empty_contribution: int = 0
+    #: Per-path failure accounting of the traversal under the run's
+    #: failure policy (empty under ``fail_fast``, and for clean runs).
+    failure_report: FailureReport = field(default_factory=FailureReport)
 
     def top(self, k: int) -> tuple[RankedPath, ...]:
         """The ``k`` best-scoring paths."""
@@ -92,6 +99,9 @@ class AugmentationResult:
     #: Join-execution counters of the training-phase materialisations
     #: (the discovery-phase counters live on ``discovery.engine_stats``).
     engine_stats: ExecutionStats = field(default_factory=ExecutionStats)
+    #: Training-phase failures (top-k paths whose full-table
+    #: materialisation failed and was skipped under the run's policy).
+    failure_report: FailureReport = field(default_factory=FailureReport)
 
     @property
     def accuracy(self) -> float:
@@ -110,6 +120,11 @@ class AugmentationResult:
         """Discovery-phase plus training-phase join-execution counters."""
         return self.discovery.engine_stats.merged(self.engine_stats)
 
+    @property
+    def combined_failure_report(self) -> FailureReport:
+        """Discovery-phase plus training-phase failure records."""
+        return self.discovery.failure_report.merged(self.failure_report)
+
     def summary(self) -> str:
         """One-paragraph human-readable report."""
         lines = [
@@ -122,7 +137,13 @@ class AugmentationResult:
             f"total {self.total_seconds:.2f}s, model {self.model_name}",
             f"engine: {self.combined_engine_stats.describe()}",
             f"selection: {self.discovery.selection_stats.describe()}",
+            f"failures: {self.combined_failure_report.describe()}",
         ]
+        if self.discovery.n_hops_empty_contribution:
+            lines.append(
+                f"{self.discovery.n_hops_empty_contribution} empty-contribution "
+                f"hop(s) kept traversable"
+            )
         if self.best is not None:
             lines.append(f"best accuracy {self.best.accuracy:.4f} on path:")
             lines.append("  " + self.best.ranked.describe())

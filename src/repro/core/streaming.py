@@ -69,6 +69,7 @@ class StreamingFeatureSelector:
             raise SelectionError("label must be a 1-D vector")
         self._label = label
         self._selected_names: list[str] = []
+        self._selected_set: set[str] = set()
         self._selected_columns: list[np.ndarray] = []
         self._counters = SelectionCounters()
         self._use_kernels = config.enable_selection_kernels
@@ -92,8 +93,13 @@ class StreamingFeatureSelector:
         """Frozen snapshot of the run's scoring counters."""
         return self._counters.snapshot()
 
+    def is_selected(self, name: str) -> bool:
+        """Whether ``name`` is already in the persistent selected set."""
+        return name in self._selected_set
+
     def _accept(self, name: str, column: np.ndarray) -> None:
         self._selected_names.append(name)
+        self._selected_set.add(name)
         self._selected_columns.append(column)
         if self._code_cache is not None:
             self._code_cache.add(column)
@@ -172,19 +178,33 @@ class StreamingFeatureSelector:
                     self._label,
                     method=config.redundancy_method,
                 )
-            keep = [i for i, s in enumerate(scores) if s > 0.0]
-            accepted_scores = tuple(float(scores[i]) for i in keep)
+            scored_keep = [
+                (i, float(s)) for i, s in enumerate(scores) if s > 0.0
+            ]
         else:
-            keep = list(range(len(relevant_idx)))
-            accepted_scores = tuple(relevant_scores)
+            scored_keep = [
+                (i, float(relevant_scores[i])) for i in range(len(relevant_idx))
+            ]
 
-        accepted_names = tuple(relevant_names[i] for i in keep)
-        for i in keep:
-            self._accept(relevant_names[i], candidate_matrix[:, i])
+        # A candidate can reach this point even though it is already in
+        # the selected set — two paths landing on the same table offer the
+        # same qualified column twice, and with redundancy disabled
+        # (ablation) nothing downstream rejects the rerun.  R_sel is
+        # global (Algorithm 1), so acceptance dedupes: an already-selected
+        # name is never added to the matrix or the outcome again.
+        accepted_names: list[str] = []
+        accepted_scores: list[float] = []
+        for i, score in scored_keep:
+            name = relevant_names[i]
+            if name in self._selected_set:
+                continue
+            accepted_names.append(name)
+            accepted_scores.append(score)
+            self._accept(name, candidate_matrix[:, i])
 
         return StageOutcome(
             relevant_names=relevant_names,
             relevance_scores=tuple(relevant_scores),
-            accepted_names=accepted_names,
-            redundancy_scores=accepted_scores,
+            accepted_names=tuple(accepted_names),
+            redundancy_scores=tuple(accepted_scores),
         )

@@ -3,12 +3,22 @@
 The engine layer sits between the columnar substrate
 (:mod:`repro.dataframe`) and the algorithm layer (:mod:`repro.core`,
 :mod:`repro.baselines`): it turns DRG edges into build/probe join kernels,
-memoizes build-side state across join paths with a :class:`HopCache`, and
-exposes execution counters so callers can observe exactly how much join
-work a run performed.
+memoizes build-side state across join paths with a :class:`HopCache`,
+guards every hop with per-hop budgets and a run-level failure policy
+(:mod:`repro.engine.faults`), and exposes execution counters so callers
+can observe exactly how much join work a run performed.
 """
 
 from .engine import JoinEngine
+from .faults import (
+    DEFAULT_ERROR_BUDGET,
+    DEFAULT_MAX_RETRIES,
+    FAILURE_POLICIES,
+    FailureRecord,
+    FailureReport,
+    FaultInjector,
+    FaultManager,
+)
 from .hop_cache import HopCache
 from .naming import qualified, source_column_name
 from .stats import EngineStats, ExecutionStats
@@ -20,4 +30,11 @@ __all__ = [
     "ExecutionStats",
     "qualified",
     "source_column_name",
+    "FAILURE_POLICIES",
+    "DEFAULT_ERROR_BUDGET",
+    "DEFAULT_MAX_RETRIES",
+    "FailureRecord",
+    "FailureReport",
+    "FaultManager",
+    "FaultInjector",
 ]

@@ -16,9 +16,12 @@ gets observable build/probe/cache counters for free.
 
 from __future__ import annotations
 
+import time
+
 from ..dataframe import JoinIndex, Table
-from ..errors import JoinError
+from ..errors import FaultError, HopBudgetExceeded, JoinError
 from ..graph import DatasetRelationGraph, JoinPath, OrientedEdge
+from .faults import FaultInjector
 from .hop_cache import HopCache
 from .naming import qualified, source_column_name
 from .stats import EngineStats, ExecutionStats
@@ -53,6 +56,22 @@ class JoinEngine:
     enable_cache:
         Disable to rebuild the join index on every hop (exact A/B switch —
         results are bit-identical either way, only the work differs).
+    hop_timeout_seconds:
+        Per-hop wall-clock budget.  The check is cooperative (a hop's
+        elapsed time is measured after its build and probe phases, which
+        are the only places time goes), so a hop that overruns raises a
+        typed :class:`~repro.errors.HopBudgetExceeded` instead of letting
+        the run hang hop after hop.  None disables the guard.
+    max_output_rows:
+        Per-hop output-cardinality cap.  The engine only left-joins
+        through deduplicated indexes, so a hop's output row count equals
+        its probe-side row count — the cap is checked exactly, *before*
+        any work is done, and raises
+        :class:`~repro.errors.HopBudgetExceeded` instead of materialising
+        an exploded join.  None disables the guard.
+    fault_injector:
+        Optional :class:`FaultInjector` consulted at the top of every hop
+        — the deterministic harness fault-isolation tests run under.
     """
 
     def __init__(
@@ -60,11 +79,17 @@ class JoinEngine:
         drg: DatasetRelationGraph,
         seed: int = 0,
         enable_cache: bool = True,
+        hop_timeout_seconds: float | None = None,
+        max_output_rows: int | None = None,
+        fault_injector: FaultInjector | None = None,
     ):
         self.drg = drg
         self.seed = seed
         self.cache = HopCache(enabled=enable_cache)
         self.stats = EngineStats()
+        self.hop_timeout_seconds = hop_timeout_seconds
+        self.max_output_rows = max_output_rows
+        self.fault_injector = fault_injector
 
     # -- plan phase ---------------------------------------------------------
 
@@ -103,17 +128,36 @@ class JoinEngine:
 
         Raises :class:`JoinError` when the join is unfeasible: the source
         column is missing from the running join (can happen on spurious
-        discovery edges) — Algorithm 1 prunes such paths.  The error
-        message carries the base table, the hop sequence walked so far
-        (when ``path`` is given) and the failing edge, so pruned-path
+        discovery edges) — Algorithm 1 prunes such paths.  Raises
+        :class:`~repro.errors.HopBudgetExceeded` when the hop blows the
+        engine's wall-clock or output-row budget, and the fault injector's
+        typed errors when one is installed.  Every error message carries
+        the base table, the hop sequence walked so far (when ``path`` is
+        given) and the failing edge, so pruned-path and failure-report
         diagnostics are actionable.
         """
+        if self.fault_injector is not None:
+            try:
+                self.fault_injector.check(edge)
+            except FaultError as exc:
+                raise type(exc)(
+                    f"{exc}; {_hop_context(base_name, path, edge)}"
+                ) from exc
         left_col = source_column_name(edge, base_name)
         if left_col not in current:
             raise JoinError(
                 f"join column {left_col!r} is not available in the running "
                 f"join; {_hop_context(base_name, path, edge)}"
             )
+        if self.max_output_rows is not None and current.n_rows > self.max_output_rows:
+            # Left joins through a deduped index preserve probe-side
+            # cardinality, so this pre-check bounds the output exactly.
+            raise HopBudgetExceeded(
+                f"hop output of {current.n_rows} rows exceeds "
+                f"max_output_rows={self.max_output_rows}; "
+                f"{_hop_context(base_name, path, edge)}"
+            )
+        started = time.perf_counter()
         try:
             index = self.hop_index(edge)
         except JoinError as exc:
@@ -123,6 +167,13 @@ class JoinEngine:
         self.stats.hops_executed += 1
         self.stats.rows_probed += current.n_rows
         joined = index.left_join(current, left_col)
+        elapsed = time.perf_counter() - started
+        if self.hop_timeout_seconds is not None and elapsed > self.hop_timeout_seconds:
+            raise HopBudgetExceeded(
+                f"hop took {elapsed:.3f}s, over the wall-clock budget of "
+                f"{self.hop_timeout_seconds}s; "
+                f"{_hop_context(base_name, path, edge)}"
+            )
         contributed = [
             name for name in index.build_table.column_names if name in joined
         ]

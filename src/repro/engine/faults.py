@@ -1,0 +1,351 @@
+"""Fault isolation for the discover/train pipeline.
+
+AutoFeat's value proposition is surviving a messy data lake, so one poison
+table must not abort a whole discovery or training run.  This module holds
+the three pieces that make per-path failures survivable and observable:
+
+* :class:`FaultManager` — applies the run's failure policy (``fail_fast``,
+  ``skip_and_record`` or ``retry``) to every guarded hop, enforces the
+  per-run error budget, and accumulates :class:`FailureRecord` entries;
+* :class:`FailureReport` — the frozen per-run failure accounting carried
+  on ``DiscoveryResult`` / ``AugmentationResult`` / ``BaselineResult`` and
+  rendered by ``summary()``;
+* :class:`FaultInjector` — a deterministic, seeded fault-injection harness
+  (per-edge probability of join failure or timeout) so graceful
+  degradation is testable end to end.
+
+The typed errors the layer manages live in :mod:`repro.errors`:
+:class:`~repro.errors.FaultError` and its subclasses
+:class:`~repro.errors.HopBudgetExceeded`,
+:class:`~repro.errors.InjectedFaultError` and
+:class:`~repro.errors.ErrorBudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from ..errors import (
+    ConfigError,
+    ErrorBudgetExceeded,
+    FaultError,
+    HopBudgetExceeded,
+    InjectedFaultError,
+    JoinError,
+)
+
+__all__ = [
+    "FAILURE_POLICIES",
+    "DEFAULT_ERROR_BUDGET",
+    "DEFAULT_MAX_RETRIES",
+    "FailureRecord",
+    "FailureReport",
+    "FaultManager",
+    "FaultInjector",
+]
+
+#: The three failure policies a run can execute under.
+#:
+#: * ``fail_fast`` — every managed error propagates immediately (the
+#:   pre-fault-isolation behaviour);
+#: * ``skip_and_record`` — the failing hop/path is skipped, the failure is
+#:   recorded, and the run continues until the error budget is exhausted;
+#: * ``retry`` — like ``skip_and_record``, but each failing operation is
+#:   retried up to ``max_retries`` times before being recorded.
+FAILURE_POLICIES = ("fail_fast", "skip_and_record", "retry")
+
+#: Recorded failures tolerated per run before the run itself aborts.
+DEFAULT_ERROR_BUDGET = 64
+
+#: Retries per failing operation under the ``retry`` policy.
+DEFAULT_MAX_RETRIES = 2
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One recorded failure: what failed, where, and how hard we tried."""
+
+    #: Pipeline stage the failure occurred in (``discovery``, ``training``,
+    #: or a baseline's name).
+    stage: str
+    #: Exception class name (``JoinError``, ``HopBudgetExceeded``, ...).
+    error_kind: str
+    message: str
+    base_table: str = ""
+    #: Description of the join path being walked, when known.
+    path: str = ""
+    #: ``source.column -> target.column`` of the failing edge, when known.
+    edge: str = ""
+    #: Retries attempted before the failure was recorded.
+    retries: int = 0
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Immutable per-run failure accounting.
+
+    Empty reports (``ok`` is True) are the norm; a non-empty report means
+    the run degraded gracefully — paths were skipped, not computed — and
+    downstream consumers (benchmarks especially) must decide whether a
+    partial result is acceptable.
+    """
+
+    policy: str = "skip_and_record"
+    error_budget: int = DEFAULT_ERROR_BUDGET
+    records: tuple[FailureRecord, ...] = ()
+
+    @property
+    def n_failures(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing was skipped: the run's results are complete."""
+        return not self.records
+
+    def by_kind(self) -> dict[str, int]:
+        """Failure counts grouped by exception class name."""
+        return dict(Counter(record.error_kind for record in self.records))
+
+    def merged(self, other: "FailureReport") -> "FailureReport":
+        """Record-wise concatenation — e.g. discovery plus training phase."""
+        return FailureReport(
+            policy=self.policy,
+            error_budget=self.error_budget,
+            records=self.records + other.records,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable rendering for summaries."""
+        if not self.records:
+            return f"none (policy={self.policy})"
+        kinds = ", ".join(
+            f"{kind} x{count}" for kind, count in sorted(self.by_kind().items())
+        )
+        return (
+            f"{self.n_failures} recorded ({kinds}) under policy={self.policy}, "
+            f"budget {self.n_failures}/{self.error_budget}"
+        )
+
+
+def _edge_signature(edge) -> str:
+    """Stable ``source.column->target.column`` rendering of a DRG edge."""
+    return f"{edge.source}.{edge.source_column}->{edge.target}.{edge.target_column}"
+
+
+class FaultManager:
+    """Applies one run's failure policy to every guarded operation.
+
+    One manager spans one logical run, exactly like :class:`JoinEngine`:
+    the discovery traversal, the top-k training pass and each baseline's
+    join loop construct their own and thread every fallible hop through
+    :meth:`execute`.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`FAILURE_POLICIES`.
+    error_budget:
+        Maximum failures recorded before the run aborts with
+        :class:`~repro.errors.ErrorBudgetExceeded` (``fail_fast`` never
+        records, so the budget only binds the other two policies).
+    max_retries:
+        Attempts added per failing operation under ``retry``.
+    stage:
+        Default stage label stamped onto records.
+    """
+
+    def __init__(
+        self,
+        policy: str = "skip_and_record",
+        error_budget: int = DEFAULT_ERROR_BUDGET,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        stage: str = "",
+    ):
+        if policy not in FAILURE_POLICIES:
+            raise ConfigError(
+                f"unknown failure policy {policy!r}; "
+                f"expected one of {list(FAILURE_POLICIES)}"
+            )
+        if error_budget < 0:
+            raise ConfigError(f"error_budget must be >= 0, got {error_budget}")
+        if max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
+        self.policy = policy
+        self.error_budget = error_budget
+        self.max_retries = max_retries
+        self.stage = stage
+        self._records: list[FailureRecord] = []
+
+    @property
+    def n_failures(self) -> int:
+        return len(self._records)
+
+    def execute(
+        self,
+        fn: Callable[[], T],
+        *,
+        stage: str | None = None,
+        base: str = "",
+        path=None,
+        edge=None,
+        kinds: tuple[type[Exception], ...] = (JoinError, FaultError),
+    ) -> T | None:
+        """Run ``fn`` under the policy; None means "recorded and skipped".
+
+        ``kinds`` is the exception family the policy manages here — the
+        discovery BFS passes ``(FaultError,)`` only, because an ordinary
+        :class:`~repro.errors.JoinError` is pruning input for Algorithm 1,
+        not a failure.  Everything outside ``kinds`` (and
+        :class:`~repro.errors.ErrorBudgetExceeded`, always) propagates.
+        """
+        if self.policy == "fail_fast":
+            return fn()
+        attempts = 1 + (self.max_retries if self.policy == "retry" else 0)
+        last: Exception | None = None
+        retries = 0
+        for attempt in range(attempts):
+            try:
+                return fn()
+            except ErrorBudgetExceeded:
+                raise
+            except kinds as exc:
+                last = exc
+                retries = attempt
+        self.record(last, stage=stage, base=base, path=path, edge=edge, retries=retries)
+        return None
+
+    def record(
+        self,
+        exc: Exception,
+        *,
+        stage: str | None = None,
+        base: str = "",
+        path=None,
+        edge=None,
+        retries: int = 0,
+    ) -> None:
+        """Append a failure record, aborting once the budget is exhausted."""
+        record = FailureRecord(
+            stage=self.stage if stage is None else stage,
+            error_kind=type(exc).__name__,
+            message=str(exc),
+            base_table=base,
+            path=path.describe() if hasattr(path, "describe") else (path or ""),
+            edge=_edge_signature(edge) if edge is not None else "",
+            retries=retries,
+        )
+        self._records.append(record)
+        if len(self._records) > self.error_budget:
+            raise ErrorBudgetExceeded(
+                f"error budget exhausted: {len(self._records)} failures exceed "
+                f"the budget of {self.error_budget} "
+                f"(last: {record.error_kind} on edge [{record.edge}])"
+            )
+
+    def report(self) -> FailureReport:
+        """Freeze the failures recorded so far into an immutable report."""
+        return FailureReport(
+            policy=self.policy,
+            error_budget=self.error_budget,
+            records=tuple(self._records),
+        )
+
+
+class FaultInjector:
+    """Deterministic, seeded fault injection for join hops.
+
+    Whether an edge is faulty — and whether its fault manifests as a join
+    failure or a timeout — is a pure function of ``(seed, edge)``: a
+    SHA-256 draw over the edge signature is compared against the two
+    probabilities.  The same seed therefore injects the same faults on
+    every run, which is what makes degradation testable (same seed → same
+    :class:`FailureReport`).
+
+    Parameters
+    ----------
+    failure_probability:
+        Per-edge probability of an injected
+        :class:`~repro.errors.InjectedFaultError` (a failing join).
+    timeout_probability:
+        Per-edge probability of an injected
+        :class:`~repro.errors.HopBudgetExceeded` (a hop that would hang).
+    seed:
+        Determinism seed; part of every draw.
+    recover_after:
+        When positive, a faulty edge is *transient*: it fails its first
+        ``recover_after`` attempts and succeeds afterwards — the scenario
+        the ``retry`` policy exists for.  Zero means faults are permanent.
+    """
+
+    def __init__(
+        self,
+        failure_probability: float = 0.0,
+        timeout_probability: float = 0.0,
+        seed: int = 0,
+        recover_after: int = 0,
+    ):
+        for name, p in (
+            ("failure_probability", failure_probability),
+            ("timeout_probability", timeout_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {p}")
+        if failure_probability + timeout_probability > 1.0:
+            raise ConfigError(
+                "failure_probability + timeout_probability must not exceed 1"
+            )
+        if recover_after < 0:
+            raise ConfigError(f"recover_after must be >= 0, got {recover_after}")
+        self.failure_probability = failure_probability
+        self.timeout_probability = timeout_probability
+        self.seed = seed
+        self.recover_after = recover_after
+        self._attempts: dict[str, int] = {}
+
+    def _draw(self, signature: str) -> float:
+        digest = hashlib.sha256(f"{self.seed}:{signature}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    def fault_kind(self, edge) -> str | None:
+        """``"failure"``, ``"timeout"`` or None for the given edge."""
+        u = self._draw(_edge_signature(edge))
+        if u < self.failure_probability:
+            return "failure"
+        if u < self.failure_probability + self.timeout_probability:
+            return "timeout"
+        return None
+
+    def faulty_edges(self, edges) -> list:
+        """The subset of ``edges`` this injector will fault (any kind)."""
+        return [edge for edge in edges if self.fault_kind(edge) is not None]
+
+    def reset(self) -> None:
+        """Forget attempt counts, so transient faults fail afresh."""
+        self._attempts.clear()
+
+    def check(self, edge) -> None:
+        """Raise the edge's injected fault, if any.
+
+        Called by :class:`JoinEngine` at the top of every hop.  Transient
+        faults (``recover_after > 0``) count their attempts per edge and
+        stop raising once the attempt count passes the threshold.
+        """
+        kind = self.fault_kind(edge)
+        if kind is None:
+            return
+        signature = _edge_signature(edge)
+        attempt = self._attempts.get(signature, 0)
+        self._attempts[signature] = attempt + 1
+        if self.recover_after and attempt >= self.recover_after:
+            return
+        if kind == "failure":
+            raise InjectedFaultError(
+                f"injected join failure on edge [{signature}]"
+            )
+        raise HopBudgetExceeded(f"injected hop timeout on edge [{signature}]")

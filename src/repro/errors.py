@@ -24,6 +24,39 @@ class JoinError(ReproError):
     """A join could not be performed (missing join columns, empty result)."""
 
 
+class FaultError(ReproError):
+    """Base class for failures managed by the fault-isolation layer.
+
+    Deliberately *not* a :class:`JoinError` subclass: an ordinary join
+    infeasibility is expected pruning input for Algorithm 1, while a
+    :class:`FaultError` signals that a hop misbehaved (budget blown,
+    injected fault, run-level error budget exhausted) and must flow to the
+    run's :class:`repro.engine.FaultManager` instead of the pruning rules.
+    """
+
+
+class HopBudgetExceeded(FaultError):
+    """A join hop blew its wall-clock or output-row budget.
+
+    Raised by :class:`repro.engine.JoinEngine` when a hop's execution time
+    exceeds ``hop_timeout_seconds`` or its output cardinality would exceed
+    ``max_output_rows`` — a typed signal instead of a hang or an OOM.
+    """
+
+
+class InjectedFaultError(FaultError):
+    """A deterministic fault injected by :class:`repro.engine.FaultInjector`."""
+
+
+class ErrorBudgetExceeded(FaultError):
+    """A run recorded more failures than its error budget tolerates.
+
+    Raised by :class:`repro.engine.FaultManager` under the
+    ``skip_and_record`` / ``retry`` policies once the per-run budget is
+    exhausted — graceful degradation is bounded, not unconditional.
+    """
+
+
 class GraphError(ReproError):
     """The dataset relation graph was queried or mutated inconsistently."""
 

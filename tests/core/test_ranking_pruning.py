@@ -55,8 +55,14 @@ class TestCompleteness:
     def test_multiple_columns(self):
         assert completeness(self.make(), ["b", "c"]) == pytest.approx(0.5)
 
-    def test_missing_columns_zero(self):
-        assert completeness(self.make(), ["zzz"]) == 0.0
+    def test_missing_columns_vacuously_complete(self):
+        # An empty contribution carries no evidence of a bad join: it must
+        # not be quality-pruned (it may be a stepping-stone hop).
+        assert completeness(self.make(), ["zzz"]) == 1.0
+        assert completeness(self.make(), []) == 1.0
+
+    def test_empty_contribution_passes_quality(self):
+        assert passes_quality(self.make(), [], tau=1.0)
 
 
 class TestQualityRule:
