@@ -1,4 +1,4 @@
-.PHONY: check test test-faults bench-engine bench-selection
+.PHONY: check test test-faults trace-smoke bench-engine bench-selection
 
 # Fault-isolation fast gate + tier-1 tests + engine-cache and
 # selection-kernel micro-benches (smoke mode).
@@ -11,6 +11,11 @@ test:
 # Fast gate: just the fault-isolation suites (injector, policies, budgets).
 test-faults:
 	PYTHONPATH=src python -m pytest -q tests/engine tests/core -k fault
+
+# Observability smoke: traced diamond-lake run, manifest schema validation,
+# chrome-trace export, obs CLI, and the <2% no-op tracer overhead gate.
+trace-smoke:
+	PYTHONPATH=src python scripts/trace_smoke.py
 
 # Full engine-cache benchmark (several lakes); writes BENCH_engine_cache.json.
 bench-engine:

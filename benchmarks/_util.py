@@ -3,11 +3,17 @@
 Each benchmark regenerates one paper artefact, prints the rows and also
 persists them under ``benchmarks/results/`` so the output survives
 pytest's output capture (EXPERIMENTS.md is written from these files).
+Every ``BENCH_*.json`` summary also embeds the run manifests of the runs
+behind its figures, so a summary certifies *how* its numbers were
+produced (config, seed, dataset fingerprint, per-stage timings).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+
+from repro.obs import validate_manifest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -19,6 +25,33 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def _check_manifest(manifest) -> None:
+    """Refuse a figure whose run manifest is missing or broken.
+
+    A ``BENCH_*.json`` row without per-stage timings — or with a negative
+    one — means the observability layer was bypassed or mis-assembled;
+    figures must not be published from such runs.
+    """
+    if manifest is None:
+        raise AssertionError(
+            "benchmark run carries no run_manifest; figures must record "
+            "per-stage timings"
+        )
+    errors = validate_manifest(manifest.as_dict())
+    if errors:
+        raise AssertionError(
+            f"benchmark run manifest is invalid: {'; '.join(errors)}"
+        )
+    stages = manifest.stage_seconds()
+    if not stages:
+        raise AssertionError("benchmark run manifest has no stage timings")
+    negative = {name: s for name, s in stages.items() if s < 0}
+    if negative:
+        raise AssertionError(
+            f"benchmark run manifest has negative stage timings: {negative}"
+        )
+
+
 def assert_no_failures(*results) -> None:
     """Fail loudly when a benchmark run degraded instead of completing.
 
@@ -26,7 +59,9 @@ def assert_no_failures(*results) -> None:
     failures still returns — with paths silently missing from its numbers.
     Benchmark figures must come from complete runs, so every result's
     ``failure_report`` (and, for AutoFeat results, the discovery-phase
-    report underneath) must be empty.
+    report underneath) must be empty.  Results that carry a
+    ``run_manifest`` must additionally carry valid, non-negative per-stage
+    timings in it.
     """
     for result in results:
         if result is None:
@@ -45,6 +80,22 @@ def assert_no_failures(*results) -> None:
                 raise AssertionError(
                     f"benchmark run recorded failures: {report.describe()}"
                 )
+        if hasattr(result, "run_manifest"):
+            _check_manifest(result.run_manifest)
+
+
+def write_summary(path: Path, summary: dict, manifests=()) -> None:
+    """Write one ``BENCH_*.json`` with the runs' manifests embedded.
+
+    Every manifest is re-validated on the way out, so a summary file with
+    missing or negative stage timings can never be produced.
+    """
+    manifests = [m for m in manifests if m is not None]
+    for manifest in manifests:
+        _check_manifest(manifest)
+    summary = dict(summary)
+    summary["run_manifests"] = [m.as_dict() for m in manifests]
+    path.write_text(json.dumps(summary, indent=2) + "\n")
 
 
 def run_once(benchmark, fn):

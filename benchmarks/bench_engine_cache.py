@@ -24,12 +24,11 @@ exits non-zero if parity is violated, so CI can gate on it.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
 
-from _util import assert_no_failures
+from _util import assert_no_failures, write_summary
 
 from repro.core import AutoFeat, AutoFeatConfig
 from repro.datasets import build_dataset, datalake_drg
@@ -50,11 +49,12 @@ def ranking_fingerprint(discovery):
     ]
 
 
-def bench_lake(name: str, sample_size: int) -> dict:
+def bench_lake(name: str, sample_size: int) -> tuple[dict, list]:
     bundle = build_dataset(name)
     drg = datalake_drg(bundle)
     runs = {}
     fingerprints = {}
+    manifests = []
     for cached in (True, False):
         config = AutoFeatConfig(
             sample_size=sample_size, enable_hop_cache=cached, seed=0
@@ -64,11 +64,16 @@ def bench_lake(name: str, sample_size: int) -> dict:
         discovery = autofeat.discover(bundle.base_name, bundle.label_column)
         seconds = time.perf_counter() - started
         assert_no_failures(discovery)
+        manifests.append(discovery.run_manifest)
         key = "cache_on" if cached else "cache_off"
         runs[key] = {
             "discovery_seconds": round(seconds, 4),
             "n_paths_ranked": len(discovery.ranked_paths),
             **discovery.engine_stats.as_dict(),
+            "stages": {
+                stage: round(s, 4)
+                for stage, s in discovery.run_manifest.stage_seconds().items()
+            },
         }
         fingerprints[key] = ranking_fingerprint(discovery)
     on, off = runs["cache_on"], runs["cache_off"]
@@ -82,7 +87,7 @@ def bench_lake(name: str, sample_size: int) -> dict:
         "speedup": round(
             off["discovery_seconds"] / max(on["discovery_seconds"], 1e-9), 3
         ),
-    }
+    }, manifests
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -95,7 +100,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     lakes = SMOKE_LAKES if args.smoke else FULL_LAKES
-    results = [bench_lake(name, sample) for name, sample in lakes]
+    results = []
+    manifests = []
+    for name, sample in lakes:
+        result, run_manifests = bench_lake(name, sample)
+        results.append(result)
+        manifests.extend(run_manifests)
     summary = {
         "benchmark": "engine_hop_cache",
         "mode": "smoke" if args.smoke else "full",
@@ -103,7 +113,7 @@ def main(argv: list[str] | None = None) -> int:
         "all_rankings_identical": all(r["identical_rankings"] for r in results),
         "total_builds_saved": sum(r["builds_saved"] for r in results),
     }
-    SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    write_summary(SUMMARY_PATH, summary, manifests)
 
     for r in results:
         on, off = r["cache_on"], r["cache_off"]

@@ -29,11 +29,10 @@ and exits non-zero if parity is violated, so CI can gate on it.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
-from _util import assert_no_failures
+from _util import assert_no_failures, write_summary
 
 from repro.core import AutoFeat, AutoFeatConfig
 from repro.datasets import build_dataset, datalake_drg
@@ -64,11 +63,12 @@ def ranking_fingerprint(discovery):
     ]
 
 
-def bench_lake(name: str, sample_size: int, repeats: int) -> dict:
+def bench_lake(name: str, sample_size: int, repeats: int) -> tuple[dict, list]:
     bundle = build_dataset(name)
     drg = datalake_drg(bundle)
     runs = {}
     fingerprints = {}
+    manifests = []
     for kernels in (True, False):
         config = AutoFeatConfig(
             sample_size=sample_size, enable_selection_kernels=kernels, seed=0
@@ -91,10 +91,15 @@ def bench_lake(name: str, sample_size: int, repeats: int) -> dict:
                 fingerprints[key] = None
             else:
                 fingerprints.setdefault(key, fingerprint)
+        manifests.append(discovery.run_manifest)
         runs[key] = {
             "feature_selection_seconds": round(best_seconds, 4),
             "n_paths_ranked": len(discovery.ranked_paths),
             **discovery.selection_stats.as_dict(),
+            "stages": {
+                stage: round(s, 4)
+                for stage, s in discovery.run_manifest.stage_seconds().items()
+            },
         }
     on, off = runs["kernels_on"], runs["kernels_off"]
     return {
@@ -112,7 +117,7 @@ def bench_lake(name: str, sample_size: int, repeats: int) -> dict:
             / max(on["feature_selection_seconds"], 1e-9),
             3,
         ),
-    }
+    }, manifests
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -126,14 +131,19 @@ def main(argv: list[str] | None = None) -> int:
 
     lakes = SMOKE_LAKES if args.smoke else FULL_LAKES
     repeats = 1 if args.smoke else FULL_REPEATS
-    results = [bench_lake(name, sample, repeats) for name, sample in lakes]
+    results = []
+    manifests = []
+    for name, sample in lakes:
+        result, run_manifests = bench_lake(name, sample, repeats)
+        results.append(result)
+        manifests.extend(run_manifests)
     summary = {
         "benchmark": "selection_kernels",
         "mode": "smoke" if args.smoke else "full",
         "lakes": results,
         "all_rankings_identical": all(r["identical_rankings"] for r in results),
     }
-    SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    write_summary(SUMMARY_PATH, summary, manifests)
 
     for r in results:
         on, off = r["kernels_on"], r["kernels_off"]

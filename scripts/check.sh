@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Repo-wide check: the fault-isolation fast gate, the tier-1 test suite,
-# and the engine-cache and selection-kernel micro-benches in smoke mode
-# (verifying cached/uncached and kernels-on/off discovery parity; they
-# write BENCH_engine_cache.json and BENCH_selection_kernels.json).  Run
-# from anywhere: `scripts/check.sh` or `make check`.
+# Repo-wide check: the fault-isolation and observability fast gates, the
+# tier-1 test suite, and the engine-cache and selection-kernel
+# micro-benches in smoke mode (verifying cached/uncached and
+# kernels-on/off discovery parity; they write BENCH_engine_cache.json and
+# BENCH_selection_kernels.json).  Run from anywhere: `scripts/check.sh`
+# or `make check`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,6 +12,11 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== fault-isolation fast gate =="
 python -m pytest -q tests/engine tests/core -k fault
+
+echo
+echo "== observability fast gate =="
+python -m pytest -q tests/obs
+python scripts/trace_smoke.py
 
 echo
 echo "== tier-1 tests =="

@@ -52,6 +52,7 @@ from .errors import (
     SelectionError,
 )
 from .graph import DatasetRelationGraph, JoinPath, KFKConstraint
+from .obs import MetricsRegistry, RunManifest, Span, Tracer
 
 __version__ = "1.0.0"
 
@@ -74,6 +75,10 @@ __all__ = [
     "FailureReport",
     "FaultManager",
     "FaultInjector",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "RunManifest",
     "DatasetRelationGraph",
     "KFKConstraint",
     "JoinPath",

@@ -30,7 +30,8 @@ from ..engine import (
 )
 from ..graph import DatasetRelationGraph
 from ..ml import RandomForestClassifier, TabularEncoder, encode_labels, evaluate_accuracy
-from .common import BaselineResult, join_neighbor
+from ..obs import Tracer
+from .common import BaselineResult, baseline_manifest, join_neighbor
 
 __all__ = ["rifs_select", "run_arda"]
 
@@ -87,14 +88,18 @@ def run_arda(
     error_budget: int = DEFAULT_ERROR_BUDGET,
     max_retries: int = DEFAULT_MAX_RETRIES,
     fault_injector: FaultInjector | None = None,
+    enable_tracing: bool = True,
 ) -> BaselineResult:
     """Full ARDA pipeline: star join, RIFS, model-based threshold pick.
 
     Star-join hop failures are handled per ``failure_policy`` and
     accounted on the result's ``failure_report``.
     """
+    tracer = Tracer(enabled=enable_tracing)
     started = time.perf_counter()
-    engine = JoinEngine(drg, seed=seed, fault_injector=fault_injector)
+    engine = JoinEngine(
+        drg, seed=seed, fault_injector=fault_injector, tracer=tracer
+    )
     faults = FaultManager(
         policy=failure_policy,
         error_budget=error_budget,
@@ -102,52 +107,79 @@ def run_arda(
         stage="arda",
     )
     base = drg.table(base_name)
-    current = base
-    joined_tables = 0
-    for neighbor in drg.neighbors(base_name):
-        result = join_neighbor(
-            current, drg, base_name, neighbor, base_name, seed,
-            engine=engine, faults=faults,
-        )
-        if result is None:
-            continue
-        current, __ = result
-        joined_tables += 1
+    with tracer.span("arda", base=base_name, model=model_name) as root:
+        current = base
+        joined_tables = 0
+        for neighbor in drg.neighbors(base_name):
+            result = join_neighbor(
+                current, drg, base_name, neighbor, base_name, seed,
+                engine=engine, faults=faults,
+            )
+            if result is None:
+                continue
+            current, __ = result
+            joined_tables += 1
 
-    feature_names = [n for n in current.column_names if n != label_column]
-    encoder = TabularEncoder()
-    X = encoder.fit_transform(current, feature_names)
-    y, __ = encode_labels(np.asarray(current.column(label_column).to_list(), dtype=object))
-
-    fs_started = time.perf_counter()
-    candidates = rifs_select(X, y, feature_names, seed=seed)
-    # Model-in-the-loop evaluation of each survival threshold.
-    best_features = feature_names
-    best_acc = -1.0
-    for threshold in sorted(candidates):
-        subset = candidates[threshold]
-        if not subset:
-            continue
-        acc = evaluate_accuracy(
-            current, label_column, model_name, feature_names=subset, seed=seed
+        feature_names = [n for n in current.column_names if n != label_column]
+        encoder = TabularEncoder()
+        X = encoder.fit_transform(current, feature_names)
+        y, __ = encode_labels(
+            np.asarray(current.column(label_column).to_list(), dtype=object)
         )
-        if acc > best_acc:
-            best_acc, best_features = acc, subset
-    fs_seconds = time.perf_counter() - fs_started
 
-    if best_acc < 0.0:
-        best_acc = evaluate_accuracy(
-            current, label_column, model_name, feature_names=best_features, seed=seed
+        fs_started = time.perf_counter()
+        with tracer.span("selection", features=len(feature_names)):
+            candidates = rifs_select(X, y, feature_names, seed=seed)
+            # Model-in-the-loop evaluation of each survival threshold.
+            best_features = feature_names
+            best_acc = -1.0
+            for threshold in sorted(candidates):
+                subset = candidates[threshold]
+                if not subset:
+                    continue
+                with tracer.span(
+                    "evaluate", threshold=threshold, features=len(subset)
+                ):
+                    acc = evaluate_accuracy(
+                        current, label_column, model_name,
+                        feature_names=subset, seed=seed,
+                    )
+                if acc > best_acc:
+                    best_acc, best_features = acc, subset
+        fs_seconds = (
+            tracer.total_seconds("selection")
+            if tracer.enabled
+            else time.perf_counter() - fs_started
         )
+
+        if best_acc < 0.0:
+            with tracer.span("evaluate", features=len(best_features)):
+                best_acc = evaluate_accuracy(
+                    current, label_column, model_name,
+                    feature_names=best_features, seed=seed,
+                )
+    elapsed = root.seconds if tracer.enabled else time.perf_counter() - started
+    manifest = baseline_manifest(
+        "arda",
+        tracer,
+        total_seconds=elapsed,
+        fs_seconds=fs_seconds,
+        dataset=drg,
+        seed=seed,
+        engine_stats=engine.snapshot(),
+        failure_report=faults.report(),
+        counters={"arda.tables_joined": joined_tables},
+    )
     return BaselineResult(
         method="ARDA",
         dataset=base.name,
         model_name=model_name,
         accuracy=best_acc,
         feature_selection_seconds=fs_seconds,
-        total_seconds=time.perf_counter() - started,
+        total_seconds=elapsed,
         n_joined_tables=joined_tables,
         n_features_used=len(best_features),
         engine_stats=engine.snapshot(),
         failure_report=faults.report(),
+        run_manifest=manifest,
     )

@@ -47,4 +47,5 @@ def run_autofeat(
         engine_stats=result.combined_engine_stats,
         selection_stats=result.discovery.selection_stats,
         failure_report=result.combined_failure_report,
+        run_manifest=result.run_manifest,
     )

@@ -10,7 +10,8 @@ import time
 
 from ..dataframe import Table
 from ..ml import evaluate_accuracy
-from .common import BaselineResult
+from ..obs import Tracer
+from .common import BaselineResult, baseline_manifest
 
 __all__ = ["run_base"]
 
@@ -20,11 +21,22 @@ def run_base(
     label_column: str,
     model_name: str = "lightgbm",
     seed: int = 0,
+    enable_tracing: bool = True,
 ) -> BaselineResult:
     """Evaluate the base table as-is (no augmentation, no selection)."""
+    tracer = Tracer(enabled=enable_tracing)
     started = time.perf_counter()
-    acc = evaluate_accuracy(base_table, label_column, model_name, seed=seed)
-    elapsed = time.perf_counter() - started
+    with tracer.span("base", dataset=base_table.name, model=model_name) as root:
+        with tracer.span("evaluate", model=model_name):
+            acc = evaluate_accuracy(base_table, label_column, model_name, seed=seed)
+    elapsed = root.seconds if tracer.enabled else time.perf_counter() - started
+    manifest = baseline_manifest(
+        "base",
+        tracer,
+        total_seconds=elapsed,
+        dataset=[base_table],
+        seed=seed,
+    )
     return BaselineResult(
         method="BASE",
         dataset=base_table.name,
@@ -34,4 +46,5 @@ def run_base(
         total_seconds=elapsed,
         n_joined_tables=0,
         n_features_used=base_table.n_cols - 1,
+        run_manifest=manifest,
     )

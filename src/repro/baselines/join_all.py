@@ -28,8 +28,9 @@ from ..engine import (
 from ..errors import JoinError
 from ..graph import DatasetRelationGraph, bfs_levels, join_all_path_count
 from ..ml import evaluate_accuracy
+from ..obs import Tracer
 from ..selection import SelectionCounters, select_k_best_named
-from .common import BaselineResult, join_neighbor
+from .common import BaselineResult, baseline_manifest, join_neighbor
 
 __all__ = ["run_join_all", "join_all_table", "FEASIBILITY_CAP"]
 
@@ -92,6 +93,7 @@ def run_join_all(
     error_budget: int = DEFAULT_ERROR_BUDGET,
     max_retries: int = DEFAULT_MAX_RETRIES,
     fault_injector: FaultInjector | None = None,
+    enable_tracing: bool = True,
 ) -> BaselineResult:
     """JoinAll (``with_filter=False``) or JoinAll+F (``True``).
 
@@ -100,54 +102,82 @@ def run_join_all(
     time constraint" outcome of the paper.  Hop failures are handled per
     ``failure_policy`` and accounted on the result's ``failure_report``.
     """
+    method = "JoinAll+F" if with_filter else "JoinAll"
     orderings = join_all_path_count(drg.graph, base_name)
     if orderings > feasibility_cap:
         raise JoinError(
             f"JoinAll is infeasible on {base_name!r}: {orderings} possible "
             f"join orderings exceed the cap of {feasibility_cap}"
         )
+    tracer = Tracer(enabled=enable_tracing)
     started = time.perf_counter()
-    engine = JoinEngine(drg, seed=seed, fault_injector=fault_injector)
+    engine = JoinEngine(
+        drg, seed=seed, fault_injector=fault_injector, tracer=tracer
+    )
     faults = FaultManager(
         policy=failure_policy,
         error_budget=error_budget,
         max_retries=max_retries,
         stage="join_all",
     )
-    wide, joined = join_all_table(drg, base_name, seed, engine=engine, faults=faults)
     fs_seconds = 0.0
-    feature_names = [n for n in wide.column_names if n != label_column]
     counters = SelectionCounters()
-    if with_filter:
-        fs_started = time.perf_counter()
-        label = wide.column(label_column).to_float()
-        matrix = wide.numeric_matrix(feature_names)
-        kept, __ = select_k_best_named(
-            matrix,
-            feature_names,
-            label,
-            k=kappa,
-            metric="spearman",
-            seed=seed,
-            use_kernels=True,
-            counters=counters,
+    with tracer.span("join_all", base=base_name, model=model_name) as root:
+        wide, joined = join_all_table(
+            drg, base_name, seed, engine=engine, faults=faults
         )
-        fs_seconds = time.perf_counter() - fs_started
-        if kept:
-            feature_names = kept
-    acc = evaluate_accuracy(
-        wide, label_column, model_name, feature_names=feature_names, seed=seed
+        feature_names = [n for n in wide.column_names if n != label_column]
+        if with_filter:
+            fs_started = time.perf_counter()
+            with tracer.span("selection", features=len(feature_names)):
+                label = wide.column(label_column).to_float()
+                matrix = wide.numeric_matrix(feature_names)
+                kept, __ = select_k_best_named(
+                    matrix,
+                    feature_names,
+                    label,
+                    k=kappa,
+                    metric="spearman",
+                    seed=seed,
+                    use_kernels=True,
+                    counters=counters,
+                )
+            fs_seconds = (
+                tracer.total_seconds("selection")
+                if tracer.enabled
+                else time.perf_counter() - fs_started
+            )
+            if kept:
+                feature_names = kept
+        with tracer.span("evaluate", model=model_name):
+            acc = evaluate_accuracy(
+                wide, label_column, model_name,
+                feature_names=feature_names, seed=seed,
+            )
+    elapsed = root.seconds if tracer.enabled else time.perf_counter() - started
+    manifest = baseline_manifest(
+        "join_all",
+        tracer,
+        total_seconds=elapsed,
+        fs_seconds=fs_seconds,
+        dataset=drg,
+        seed=seed,
+        engine_stats=engine.snapshot(),
+        selection_stats=counters.snapshot() if with_filter else None,
+        failure_report=faults.report(),
+        counters={"join_all.tables_joined": joined},
     )
     return BaselineResult(
-        method="JoinAll+F" if with_filter else "JoinAll",
+        method=method,
         dataset=drg.table(base_name).name,
         model_name=model_name,
         accuracy=acc,
         feature_selection_seconds=fs_seconds,
-        total_seconds=time.perf_counter() - started,
+        total_seconds=elapsed,
         n_joined_tables=joined,
         n_features_used=len(feature_names),
         engine_stats=engine.snapshot(),
         selection_stats=counters.snapshot() if with_filter else None,
         failure_report=faults.report(),
+        run_manifest=manifest,
     )

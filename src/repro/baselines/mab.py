@@ -31,7 +31,8 @@ from ..engine import (
 )
 from ..graph import DatasetRelationGraph
 from ..ml import evaluate_accuracy
-from .common import BaselineResult
+from ..obs import Tracer
+from .common import BaselineResult, baseline_manifest
 
 __all__ = ["run_mab"]
 
@@ -80,6 +81,7 @@ def run_mab(
     error_budget: int = DEFAULT_ERROR_BUDGET,
     max_retries: int = DEFAULT_MAX_RETRIES,
     fault_injector: FaultInjector | None = None,
+    enable_tracing: bool = True,
 ) -> BaselineResult:
     """UCB1 bandit augmentation with a pull budget.
 
@@ -87,8 +89,11 @@ def run_mab(
     penalises and retires the arm, exactly as an unrewarding pull did
     before) and accounted on the result's ``failure_report``.
     """
+    tracer = Tracer(enabled=enable_tracing)
     started = time.perf_counter()
-    engine = JoinEngine(drg, seed=seed, fault_injector=fault_injector)
+    engine = JoinEngine(
+        drg, seed=seed, fault_injector=fault_injector, tracer=tracer
+    )
     faults = FaultManager(
         policy=failure_policy,
         error_budget=error_budget,
@@ -96,8 +101,6 @@ def run_mab(
         stage="mab",
     )
     base = drg.table(base_name)
-    current = base
-    current_acc = evaluate_accuracy(current, label_column, model_name, seed=seed)
     joined: list[str] = []
 
     def candidate_arms() -> list[_Arm]:
@@ -111,56 +114,93 @@ def run_mab(
                     arms.append(_Arm(source=source, target=target))
         return arms
 
-    arms = candidate_arms()
-    arm_index = {(a.source, a.target): a for a in arms}
-    fs_seconds = 0.0
-    total_pulls = 0
-
-    while total_pulls < budget and arm_index:
-        arm = max(
-            arm_index.values(), key=lambda a: a.ucb(total_pulls, exploration)
-        )
-        total_pulls += 1
-        arm.pulls += 1
-        options = _same_name_options(drg, arm.source, arm.target)
-        pull_started = time.perf_counter()
-        result = None
-        if options:
-            result = faults.execute(
-                lambda: engine.apply_hop(current, options[0], base_name),
-                base=base_name,
-                edge=options[0],
+    with tracer.span("mab", base=base_name, model=model_name) as root:
+        current = base
+        with tracer.span("evaluate", model=model_name):
+            current_acc = evaluate_accuracy(
+                current, label_column, model_name, seed=seed
             )
-        if result is None:
-            fs_seconds += time.perf_counter() - pull_started
-            arm.total_reward -= 0.01
-            del arm_index[(arm.source, arm.target)]
-            continue
-        candidate_table, __ = result
-        acc = evaluate_accuracy(candidate_table, label_column, model_name, seed=seed)
-        fs_seconds += time.perf_counter() - pull_started
-        reward = acc - current_acc
-        arm.total_reward += reward
-        if reward > 0.0:
-            current = candidate_table
-            current_acc = acc
-            joined.append(arm.target)
-            del arm_index[(arm.source, arm.target)]
-            for fresh in candidate_arms():
-                arm_index.setdefault((fresh.source, fresh.target), fresh)
-        elif arm.pulls >= 2:
-            # Two unrewarding pulls: retire the arm.
-            del arm_index[(arm.source, arm.target)]
 
+        arms = candidate_arms()
+        arm_index = {(a.source, a.target): a for a in arms}
+        fs_seconds = 0.0
+        total_pulls = 0
+
+        while total_pulls < budget and arm_index:
+            arm = max(
+                arm_index.values(), key=lambda a: a.ucb(total_pulls, exploration)
+            )
+            total_pulls += 1
+            arm.pulls += 1
+            options = _same_name_options(drg, arm.source, arm.target)
+            pull_started = time.perf_counter()
+            with tracer.span(
+                "pull", source=arm.source, target=arm.target
+            ) as pull_span:
+                result = None
+                if options:
+                    result = faults.execute(
+                        lambda: engine.apply_hop(current, options[0], base_name),
+                        base=base_name,
+                        edge=options[0],
+                    )
+                if result is None:
+                    tracer.event("arm_retired", target=arm.target)
+                    # The span is still open here, so its duration is not
+                    # yet stamped — the wall-clock delta is the accounting
+                    # source for failed pulls under both modes.
+                    fs_seconds += time.perf_counter() - pull_started
+                    arm.total_reward -= 0.01
+                    del arm_index[(arm.source, arm.target)]
+                    continue
+                candidate_table, __ = result
+                with tracer.span("evaluate", model=model_name):
+                    acc = evaluate_accuracy(
+                        candidate_table, label_column, model_name, seed=seed
+                    )
+            fs_seconds += (
+                pull_span.seconds
+                if tracer.enabled
+                else time.perf_counter() - pull_started
+            )
+            reward = acc - current_acc
+            arm.total_reward += reward
+            if reward > 0.0:
+                current = candidate_table
+                current_acc = acc
+                joined.append(arm.target)
+                del arm_index[(arm.source, arm.target)]
+                for fresh in candidate_arms():
+                    arm_index.setdefault((fresh.source, fresh.target), fresh)
+            elif arm.pulls >= 2:
+                # Two unrewarding pulls: retire the arm.
+                del arm_index[(arm.source, arm.target)]
+
+    elapsed = root.seconds if tracer.enabled else time.perf_counter() - started
+    manifest = baseline_manifest(
+        "mab",
+        tracer,
+        total_seconds=elapsed,
+        fs_seconds=fs_seconds,
+        dataset=drg,
+        seed=seed,
+        engine_stats=engine.snapshot(),
+        failure_report=faults.report(),
+        counters={
+            "mab.pulls": total_pulls,
+            "mab.tables_joined": len(joined),
+        },
+    )
     return BaselineResult(
         method="MAB",
         dataset=base.name,
         model_name=model_name,
         accuracy=current_acc,
         feature_selection_seconds=fs_seconds,
-        total_seconds=time.perf_counter() - started,
+        total_seconds=elapsed,
         n_joined_tables=len(joined),
         n_features_used=current.n_cols - 1,
         engine_stats=engine.snapshot(),
         failure_report=faults.report(),
+        run_manifest=manifest,
     )

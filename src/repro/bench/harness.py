@@ -23,6 +23,7 @@ from ..core import AutoFeatConfig
 from ..datasets import LakeBundle, benchmark_drg, build_dataset, datalake_drg, dataset_names
 from ..errors import JoinError
 from ..graph import DatasetRelationGraph
+from ..obs import validate_manifest
 
 __all__ = ["BenchProfile", "compare_methods", "build_setting", "ALL_METHODS"]
 
@@ -118,6 +119,10 @@ def compare_methods(
     In the data-lake setting the JoinAll baselines are skipped outright
     (their ordering count explodes — the paper's figures omit them too);
     other infeasible runs are recorded with ``accuracy=None``.
+
+    Every feasible run must carry a valid run manifest with non-negative
+    per-stage timings — rows are refused otherwise — and each row's
+    ``stages`` column carries the manifest's stage breakdown.
     """
     methods = methods or profile.methods
     if setting == "datalake":
@@ -154,10 +159,28 @@ def compare_methods(
                         f"{method} on {dataset!r} ({model}) recorded "
                         f"failures: {report.describe()}"
                     )
+                manifest = result.run_manifest
+                if manifest is None:
+                    raise AssertionError(
+                        f"{method} on {dataset!r} ({model}) carries no run "
+                        f"manifest; figures must record per-stage timings"
+                    )
+                errors = validate_manifest(manifest.as_dict())
+                negative = {
+                    name: s
+                    for name, s in manifest.stage_seconds().items()
+                    if s < 0
+                }
+                if errors or negative:
+                    raise AssertionError(
+                        f"{method} on {dataset!r} ({model}) has a broken "
+                        f"run manifest: {errors or negative}"
+                    )
                 row = result.row()
                 row["dataset"] = dataset
                 row["setting"] = setting
                 row["status"] = "ok"
+                row["stages"] = manifest.stage_summary()
                 rows.append(row)
     return rows
 

@@ -25,6 +25,13 @@ from ..engine import FaultInjector, FaultManager, JoinEngine
 from ..errors import FaultError, JoinError
 from ..graph import DatasetRelationGraph, JoinPath
 from ..ml import evaluate_accuracy
+from ..obs import (
+    MetricsRegistry,
+    Tracer,
+    build_manifest,
+    flat_node,
+    synthetic_root,
+)
 from .config import AutoFeatConfig
 from .materialize import qualified
 from .pruning import completeness, similarity_pruned_count
@@ -54,7 +61,7 @@ class AutoFeat:
         self.config = config or AutoFeatConfig()
         self.fault_injector = fault_injector
 
-    def _engine(self) -> JoinEngine:
+    def _engine(self, tracer: Tracer | None = None) -> JoinEngine:
         """One per-run engine carrying the config's hop budgets."""
         config = self.config
         return JoinEngine(
@@ -64,7 +71,12 @@ class AutoFeat:
             hop_timeout_seconds=config.hop_timeout_seconds,
             max_output_rows=config.max_hop_output_rows,
             fault_injector=self.fault_injector,
+            tracer=tracer,
         )
+
+    def _tracer(self) -> Tracer:
+        """One per-run tracer honouring ``config.enable_tracing``."""
+        return Tracer(enabled=self.config.enable_tracing)
 
     def _faults(self, stage: str) -> FaultManager:
         """One per-run fault manager applying the config's policy."""
@@ -93,10 +105,19 @@ class AutoFeat:
         (``config.enable_selection_kernels``) amortise discretisation and
         ranking across all hops; its counters are returned on
         ``DiscoveryResult.selection_stats``.
+
+        With ``config.enable_tracing`` on, the whole traversal runs under
+        one :class:`repro.obs.Tracer` (``discover > hop > join /
+        selection`` spans); ``discovery_seconds`` and
+        ``feature_selection_seconds`` are derived from those spans — one
+        timing source, not parallel bookkeeping — and the run's
+        :class:`repro.obs.RunManifest` lands on
+        ``DiscoveryResult.run_manifest``.
         """
         config = self.config
+        tracer = self._tracer()
         started = time.perf_counter()
-        engine = self._engine()
+        engine = self._engine(tracer)
         faults = self._faults("discovery")
 
         base = self.drg.table(base_name)
@@ -104,18 +125,21 @@ class AutoFeat:
             raise JoinError(
                 f"base table {base_name!r} has no label column {label_column!r}"
             )
-        sample = stratified_sample(
-            base, label_column, config.sample_size, seed=config.seed
-        )
-        label = sample.column(label_column).to_float()
 
-        selector = StreamingFeatureSelector(config, label)
-        selection_seconds = 0.0
-        base_features = [n for n in sample.column_names if n != label_column]
-        if base_features:
+        # The single selection-timing site: traced runs get a span per
+        # scored batch, untraced runs one fallback accumulator.
+        fallback_selection = 0.0
+
+        def scored(fn, **attrs):
+            nonlocal fallback_selection
+            if tracer.enabled:
+                with tracer.span("selection", **attrs):
+                    return fn()
             scoring_started = time.perf_counter()
-            selector.seed_with(base_features, sample.numeric_matrix(base_features))
-            selection_seconds += time.perf_counter() - scoring_started
+            try:
+                return fn()
+            finally:
+                fallback_selection += time.perf_counter() - scoring_started
 
         ranked: list[RankedPath] = []
         explored = 0
@@ -123,88 +147,140 @@ class AutoFeat:
         pruned_similarity = 0
         empty_contribution = 0
 
-        # Each frontier entry carries the partially-joined sample and the
-        # qualified features accepted along the path so far.
-        frontier: deque[tuple[JoinPath, Table, tuple[str, ...]]] = deque(
-            [(JoinPath(base_name), sample, ())]
-        )
-        while frontier:
-            # BFS pops the oldest path (level order); the DFS ablation pops
-            # the newest, diving deep before finishing a level.
-            if config.traversal == "bfs":
-                path, current, path_features = frontier.popleft()
-            else:
-                path, current, path_features = frontier.pop()
-            if path.length >= config.max_path_length:
-                continue
-            visited = set(path.nodes)
-            for neighbor in self.drg.neighbors(path.terminal):
-                if neighbor in visited:
-                    continue
-                pruned_similarity += similarity_pruned_count(
-                    self.drg, path.terminal, neighbor
+        with tracer.span("discover", base=base_name, label=label_column) as root:
+            with tracer.span("sample", size=config.sample_size):
+                sample = stratified_sample(
+                    base, label_column, config.sample_size, seed=config.seed
                 )
-                for edge in self.drg.best_join_options(path.terminal, neighbor):
-                    explored += 1
-                    # Ordinary JoinError is Algorithm 1's pruning input and
-                    # is handled below under every policy; only the fault
-                    # family (budgets, injected faults) goes through the
-                    # failure policy — fail_fast propagates it, the other
-                    # policies record the hop and skip it.
-                    try:
-                        hop = faults.execute(
-                            lambda: engine.apply_hop(
-                                current, edge, base_name, path=path
-                            ),
-                            base=base_name,
-                            path=path,
-                            edge=edge,
-                            kinds=(FaultError,),
-                        )
-                    except JoinError:
-                        pruned_quality += 1
-                        continue
-                    if hop is None:
-                        continue
-                    joined, contributed = hop
-                    comp = completeness(joined, contributed)
-                    if not contributed:
-                        # A hop may contribute no columns at all; that is
-                        # not poor join quality — keep it traversable (see
-                        # the stepping-stone note below) and count it.
-                        empty_contribution += 1
-                    elif comp < config.tau:
-                        pruned_quality += 1
-                        continue
+            label = sample.column(label_column).to_float()
 
-                    join_key = qualified(edge.target, edge.target_column)
-                    candidates = [c for c in contributed if c != join_key]
-                    scoring_started = time.perf_counter()
-                    outcome = selector.process_batch(
-                        candidates, joined.numeric_matrix(candidates)
+            selector = StreamingFeatureSelector(config, label)
+            base_features = [n for n in sample.column_names if n != label_column]
+            if base_features:
+                scored(
+                    lambda: selector.seed_with(
+                        base_features, sample.numeric_matrix(base_features)
+                    ),
+                    batch="seed",
+                )
+
+            # Each frontier entry carries the partially-joined sample and
+            # the qualified features accepted along the path so far.
+            frontier: deque[tuple[JoinPath, Table, tuple[str, ...]]] = deque(
+                [(JoinPath(base_name), sample, ())]
+            )
+            while frontier:
+                # BFS pops the oldest path (level order); the DFS ablation
+                # pops the newest, diving deep before finishing a level.
+                if config.traversal == "bfs":
+                    path, current, path_features = frontier.popleft()
+                else:
+                    path, current, path_features = frontier.pop()
+                if path.length >= config.max_path_length:
+                    continue
+                visited = set(path.nodes)
+                for neighbor in self.drg.neighbors(path.terminal):
+                    if neighbor in visited:
+                        continue
+                    pruned_similarity += similarity_pruned_count(
+                        self.drg, path.terminal, neighbor
                     )
-                    selection_seconds += time.perf_counter() - scoring_started
-                    score = compute_ranking_score(
-                        outcome.relevance_scores, outcome.redundancy_scores
-                    )
-                    new_path = path.extend(edge)
-                    new_features = path_features + outcome.accepted_names
-                    ranked.append(
-                        RankedPath(
-                            path=new_path,
-                            score=score,
-                            selected_features=new_features,
-                            relevance_scores=outcome.relevance_scores,
-                            redundancy_scores=outcome.redundancy_scores,
-                            completeness=comp,
-                            relevant_names=outcome.relevant_names,
-                        )
-                    )
-                    # Even an all-irrelevant join stays in the frontier: it
-                    # may be the gateway to a relevant transitive table.
-                    frontier.append((new_path, joined, new_features))
+                    for edge in self.drg.best_join_options(path.terminal, neighbor):
+                        explored += 1
+                        with tracer.span(
+                            "hop", table=edge.target, key=edge.target_column
+                        ):
+                            # Ordinary JoinError is Algorithm 1's pruning
+                            # input and is handled below under every
+                            # policy; only the fault family (budgets,
+                            # injected faults) goes through the failure
+                            # policy — fail_fast propagates it, the other
+                            # policies record the hop and skip it.
+                            try:
+                                hop = faults.execute(
+                                    lambda: engine.apply_hop(
+                                        current, edge, base_name, path=path
+                                    ),
+                                    base=base_name,
+                                    path=path,
+                                    edge=edge,
+                                    kinds=(FaultError,),
+                                )
+                            except JoinError:
+                                pruned_quality += 1
+                                continue
+                            if hop is None:
+                                continue
+                            joined, contributed = hop
+                            comp = completeness(joined, contributed)
+                            if not contributed:
+                                # A hop may contribute no columns at all;
+                                # that is not poor join quality — keep it
+                                # traversable (see the stepping-stone note
+                                # below) and count it.
+                                empty_contribution += 1
+                            elif comp < config.tau:
+                                pruned_quality += 1
+                                continue
+
+                            join_key = qualified(edge.target, edge.target_column)
+                            candidates = [c for c in contributed if c != join_key]
+                            outcome = scored(
+                                lambda: selector.process_batch(
+                                    candidates, joined.numeric_matrix(candidates)
+                                ),
+                                features=len(candidates),
+                            )
+                            score = compute_ranking_score(
+                                outcome.relevance_scores, outcome.redundancy_scores
+                            )
+                            new_path = path.extend(edge)
+                            new_features = path_features + outcome.accepted_names
+                            ranked.append(
+                                RankedPath(
+                                    path=new_path,
+                                    score=score,
+                                    selected_features=new_features,
+                                    relevance_scores=outcome.relevance_scores,
+                                    redundancy_scores=outcome.redundancy_scores,
+                                    completeness=comp,
+                                    relevant_names=outcome.relevant_names,
+                                )
+                            )
+                            # Even an all-irrelevant join stays in the
+                            # frontier: it may be the gateway to a relevant
+                            # transitive table.
+                            frontier.append((new_path, joined, new_features))
+
+        # Both timings come from the span tree on traced runs; the
+        # untraced fallback is one wall-clock pair plus the single
+        # selection accumulator above.
+        if tracer.enabled:
+            discovery_seconds = root.seconds
+            selection_seconds = tracer.total_seconds("selection")
+        else:
+            discovery_seconds = time.perf_counter() - started
+            selection_seconds = fallback_selection
 
         ranked.sort(key=lambda r: (-r.score, r.path.length, r.path.describe()))
+        engine_stats = engine.snapshot()
+        selection_stats = selector.stats
+        failure_report = faults.report()
+        manifest = self._discovery_manifest(
+            tracer,
+            engine_stats,
+            selection_stats,
+            failure_report,
+            discovery_seconds=discovery_seconds,
+            selection_seconds=selection_seconds,
+            counters={
+                "discovery.paths_explored": explored,
+                "discovery.paths_ranked": len(ranked),
+                "discovery.pruned_quality": pruned_quality,
+                "discovery.pruned_similarity": pruned_similarity,
+                "discovery.hops_empty_contribution": empty_contribution,
+            },
+        )
         return DiscoveryResult(
             base_table=base_name,
             label_column=label_column,
@@ -213,11 +289,50 @@ class AutoFeat:
             n_paths_pruned_quality=pruned_quality,
             n_joins_pruned_similarity=pruned_similarity,
             feature_selection_seconds=selection_seconds,
-            discovery_seconds=time.perf_counter() - started,
-            engine_stats=engine.snapshot(),
-            selection_stats=selector.stats,
+            discovery_seconds=discovery_seconds,
+            engine_stats=engine_stats,
+            selection_stats=selection_stats,
             n_hops_empty_contribution=empty_contribution,
-            failure_report=faults.report(),
+            failure_report=failure_report,
+            run_manifest=manifest,
+        )
+
+    def _discovery_manifest(
+        self,
+        tracer: Tracer,
+        engine_stats,
+        selection_stats,
+        failure_report,
+        discovery_seconds: float,
+        selection_seconds: float,
+        counters: dict[str, int],
+    ):
+        """Assemble the discovery-phase :class:`repro.obs.RunManifest`."""
+        registry = MetricsRegistry()
+        engine_stats.publish(registry)
+        selection_stats.publish(registry)
+        failure_report.publish(registry)
+        for name, value in counters.items():
+            registry.counter(name).inc(value)
+        timing = None
+        if not tracer.enabled:
+            # Untraced runs still get a minimal two-node tree so stage
+            # breakdowns are never missing.
+            timing = flat_node(
+                "discover",
+                discovery_seconds,
+                children=[flat_node("selection", selection_seconds)],
+                traced=False,
+            )
+        return build_manifest(
+            "discovery",
+            tracer=tracer,
+            registry=registry,
+            config=self.config,
+            dataset=self.drg,
+            seed=self.config.seed,
+            wall_seconds=discovery_seconds,
+            timing=timing,
         )
 
     # -- training phase -----------------------------------------------------------
@@ -240,10 +355,16 @@ class AutoFeat:
         break a join).  Under ``skip_and_record`` /``retry`` such a path is
         recorded on ``AugmentationResult.failure_report`` and skipped, and
         the remaining top-k paths still train; ``fail_fast`` propagates.
+
+        When tracing is on, the training phase runs under a ``train`` span
+        tree (``train > path > evaluate``) that is composed with the
+        discovery phase's tree into one ``augment`` manifest on
+        ``AugmentationResult.run_manifest``.
         """
         started = time.perf_counter()
         config = self.config
-        engine = self._engine()
+        tracer = self._tracer()
+        engine = self._engine(tracer)
         faults = self._faults("training")
         base = self.drg.table(discovery.base_table)
         base_features = [
@@ -252,31 +373,40 @@ class AutoFeat:
 
         trained: list[TrainedPath] = []
         tables: list[Table] = []
-        for ranked in discovery.top(config.top_k):
-            materialised = faults.execute(
-                lambda: engine.materialize_path(ranked.path, base),
-                base=discovery.base_table,
-                path=ranked.path,
-            )
-            if materialised is None:
-                continue
-            table, __ = materialised
-            features = base_features + [
-                f for f in ranked.selected_features if f in table
-            ]
-            acc = evaluate_accuracy(
-                table,
-                discovery.label_column,
-                model_name=model_name,
-                feature_names=features,
-                seed=config.seed,
-            )
-            trained.append(
-                TrainedPath(
-                    ranked=ranked, accuracy=acc, n_features_used=len(features)
-                )
-            )
-            tables.append(table)
+        with tracer.span(
+            "train", base=discovery.base_table, model=model_name
+        ) as root:
+            for ranked in discovery.top(config.top_k):
+                with tracer.span("path", path=ranked.path.describe()):
+                    materialised = faults.execute(
+                        lambda: engine.materialize_path(ranked.path, base),
+                        base=discovery.base_table,
+                        path=ranked.path,
+                    )
+                    if materialised is None:
+                        continue
+                    table, __ = materialised
+                    features = base_features + [
+                        f for f in ranked.selected_features if f in table
+                    ]
+                    with tracer.span(
+                        "evaluate", model=model_name, features=len(features)
+                    ):
+                        acc = evaluate_accuracy(
+                            table,
+                            discovery.label_column,
+                            model_name=model_name,
+                            feature_names=features,
+                            seed=config.seed,
+                        )
+                    trained.append(
+                        TrainedPath(
+                            ranked=ranked,
+                            accuracy=acc,
+                            n_features_used=len(features),
+                        )
+                    )
+                    tables.append(table)
 
         best = None
         augmented = None
@@ -290,16 +420,76 @@ class AutoFeat:
             )
             augmented = tables[best_idx].select(keep)
 
+        # Span-derived when traced, wall-clock fallback when not, so
+        # there is a single timing source either way (satellite 1).
+        if tracer.enabled:
+            train_seconds = root.seconds
+        else:
+            train_seconds = time.perf_counter() - started
+        total_seconds = discovery.discovery_seconds + train_seconds
+        engine_stats = engine.snapshot()
+        failure_report = faults.report()
+        manifest = self._augment_manifest(
+            discovery,
+            tracer,
+            engine_stats,
+            failure_report,
+            train_seconds=train_seconds,
+            total_seconds=total_seconds,
+            n_trained=len(trained),
+            best=best,
+        )
+
         return AugmentationResult(
             discovery=discovery,
             trained=tuple(trained),
             best=best,
             augmented_table=augmented,
             model_name=model_name,
-            total_seconds=discovery.discovery_seconds
-            + (time.perf_counter() - started),
-            engine_stats=engine.snapshot(),
-            failure_report=faults.report(),
+            total_seconds=total_seconds,
+            engine_stats=engine_stats,
+            failure_report=failure_report,
+            run_manifest=manifest,
+        )
+
+    def _augment_manifest(
+        self,
+        discovery: DiscoveryResult,
+        tracer: Tracer,
+        engine_stats,
+        failure_report,
+        train_seconds: float,
+        total_seconds: float,
+        n_trained: int,
+        best,
+    ):
+        """Compose discovery + training into one ``augment`` manifest."""
+        registry = MetricsRegistry()
+        discovery.engine_stats.merged(engine_stats).publish(registry)
+        discovery.selection_stats.publish(registry)
+        discovery.failure_report.merged(failure_report).publish(registry)
+        registry.counter("train.paths_trained").inc(n_trained)
+        if best is not None:
+            registry.gauge("train.best_accuracy").set(round(best.accuracy, 6))
+
+        if tracer.enabled:
+            train_tree = tracer.timing_tree()
+        else:
+            train_tree = flat_node("train", train_seconds, traced=False)
+        discovery_tree = (
+            discovery.run_manifest.timing
+            if discovery.run_manifest is not None
+            else flat_node("discover", discovery.discovery_seconds, traced=False)
+        )
+        timing = synthetic_root("augment", [discovery_tree, train_tree])
+        return build_manifest(
+            "augment",
+            registry=registry,
+            config=self.config,
+            dataset=self.drg,
+            seed=self.config.seed,
+            wall_seconds=total_seconds,
+            timing=timing,
         )
 
     def augment(

@@ -97,6 +97,16 @@ class AutoFeatConfig:
         Per-hop output-row cap enforced by the engine before any join
         work happens (exact, because left joins through deduped indexes
         preserve probe-side cardinality).  None disables the guard.
+    enable_tracing:
+        Record the run's hierarchical timing tree
+        (``discover > hop > join / selection``) through
+        :class:`repro.obs.Tracer` and attach a full
+        :class:`repro.obs.RunManifest` to every result.  Tracing does not
+        change results, only observability; disabling it swaps in the
+        no-op tracer (coarse wall-clock totals are still reported, but
+        the manifest's timing tree collapses to a single node and the
+        per-hop spans, events and ``feature_selection_seconds`` detail
+        come from cheap fallback accounting instead of spans).
     seed:
         Seed for sampling and join-representative choices.
     """
@@ -119,6 +129,7 @@ class AutoFeatConfig:
     max_retries: int = DEFAULT_MAX_RETRIES
     hop_timeout_seconds: float | None = None
     max_hop_output_rows: int | None = None
+    enable_tracing: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from ..dataframe import Table
 from ..engine import ExecutionStats, FailureReport
 from ..graph import JoinPath
+from ..obs import RunManifest
 from ..selection.stats import SelectionStats
 
 __all__ = ["RankedPath", "DiscoveryResult", "TrainedPath", "AugmentationResult"]
@@ -67,6 +68,9 @@ class DiscoveryResult:
     #: Per-path failure accounting of the traversal under the run's
     #: failure policy (empty under ``fail_fast``, and for clean runs).
     failure_report: FailureReport = field(default_factory=FailureReport)
+    #: Reproducibility record of the traversal: config snapshot, seed,
+    #: dataset fingerprint, git revision, timing tree, metrics, events.
+    run_manifest: RunManifest | None = None
 
     def top(self, k: int) -> tuple[RankedPath, ...]:
         """The ``k`` best-scoring paths."""
@@ -102,6 +106,10 @@ class AugmentationResult:
     #: Training-phase failures (top-k paths whose full-table
     #: materialisation failed and was skipped under the run's policy).
     failure_report: FailureReport = field(default_factory=FailureReport)
+    #: Whole-run reproducibility record: the discovery timing tree and the
+    #: training timing tree composed under one ``augment`` root, plus the
+    #: combined metrics of both phases.
+    run_manifest: RunManifest | None = None
 
     @property
     def accuracy(self) -> float:
@@ -139,6 +147,8 @@ class AugmentationResult:
             f"selection: {self.discovery.selection_stats.describe()}",
             f"failures: {self.combined_failure_report.describe()}",
         ]
+        if self.run_manifest is not None:
+            lines.append(f"stages: {self.run_manifest.stage_summary()}")
         if self.discovery.n_hops_empty_contribution:
             lines.append(
                 f"{self.discovery.n_hops_empty_contribution} empty-contribution "

@@ -21,6 +21,7 @@ import time
 from ..dataframe import JoinIndex, Table
 from ..errors import FaultError, HopBudgetExceeded, JoinError
 from ..graph import DatasetRelationGraph, JoinPath, OrientedEdge
+from ..obs.tracer import NULL_TRACER, Tracer
 from .faults import FaultInjector
 from .hop_cache import HopCache
 from .naming import qualified, source_column_name
@@ -72,6 +73,12 @@ class JoinEngine:
     fault_injector:
         Optional :class:`FaultInjector` consulted at the top of every hop
         — the deterministic harness fault-isolation tests run under.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When given (and enabled),
+        every executed hop opens a ``join`` span nested under the
+        caller's current span, and hop-cache lookups emit ``cache_hit`` /
+        ``cache_miss`` events onto it.  Defaults to the shared no-op
+        tracer.
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class JoinEngine:
         hop_timeout_seconds: float | None = None,
         max_output_rows: int | None = None,
         fault_injector: FaultInjector | None = None,
+        tracer: Tracer | None = None,
     ):
         self.drg = drg
         self.seed = seed
@@ -90,6 +98,7 @@ class JoinEngine:
         self.hop_timeout_seconds = hop_timeout_seconds
         self.max_output_rows = max_output_rows
         self.fault_injector = fault_injector
+        self.tracer = tracer or NULL_TRACER
 
     # -- plan phase ---------------------------------------------------------
 
@@ -106,9 +115,17 @@ class JoinEngine:
             right = self.drg.table(edge.target).prefixed(edge.target)
             return JoinIndex.build(right, key_column, seed=self.seed)
 
-        return self.cache.get_or_build(
+        hits_before = self.stats.cache_hits
+        index = self.cache.get_or_build(
             edge.target, key_column, self.seed, builder, self.stats
         )
+        if self.cache.enabled:
+            self.tracer.event(
+                "cache_hit" if self.stats.cache_hits > hits_before else "cache_miss",
+                table=edge.target,
+                key=key_column,
+            )
+        return index
 
     # -- execute phase ------------------------------------------------------
 
@@ -158,15 +175,18 @@ class JoinEngine:
                 f"{_hop_context(base_name, path, edge)}"
             )
         started = time.perf_counter()
-        try:
-            index = self.hop_index(edge)
-        except JoinError as exc:
-            raise JoinError(
-                f"{exc}; {_hop_context(base_name, path, edge)}"
-            ) from exc
-        self.stats.hops_executed += 1
-        self.stats.rows_probed += current.n_rows
-        joined = index.left_join(current, left_col)
+        with self.tracer.span(
+            "join", table=edge.target, key=edge.target_column, rows=current.n_rows
+        ):
+            try:
+                index = self.hop_index(edge)
+            except JoinError as exc:
+                raise JoinError(
+                    f"{exc}; {_hop_context(base_name, path, edge)}"
+                ) from exc
+            self.stats.hops_executed += 1
+            self.stats.rows_probed += current.n_rows
+            joined = index.left_join(current, left_col)
         elapsed = time.perf_counter() - started
         if self.hop_timeout_seconds is not None and elapsed > self.hop_timeout_seconds:
             raise HopBudgetExceeded(
@@ -191,9 +211,10 @@ class JoinEngine:
         contributions: list[list[str]] = []
         walked = JoinPath(path.base)
         for edge in path.edges:
-            current, contributed = self.apply_hop(
-                current, edge, path.base, path=walked
-            )
+            with self.tracer.span("hop", table=edge.target, key=edge.target_column):
+                current, contributed = self.apply_hop(
+                    current, edge, path.base, path=walked
+                )
             walked = walked.extend(edge)
             contributions.append(contributed)
         return current, contributions

@@ -120,6 +120,16 @@ class FailureReport:
             records=self.records + other.records,
         )
 
+    def publish(self, registry, prefix: str = "faults"):
+        """Publish the failure accounting into a
+        :class:`repro.obs.MetricsRegistry` (total, budget and per-kind
+        counters under ``faults.*``)."""
+        registry.counter(f"{prefix}.recorded").inc(self.n_failures)
+        registry.gauge(f"{prefix}.error_budget").set(self.error_budget)
+        for kind, count in sorted(self.by_kind().items()):
+            registry.counter(f"{prefix}.kind.{kind}").inc(count)
+        return registry
+
     def describe(self) -> str:
         """One-line human-readable rendering for summaries."""
         if not self.records:

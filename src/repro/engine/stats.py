@@ -6,13 +6,30 @@ and :class:`ExecutionStats` is the frozen snapshot threaded into result
 objects (``DiscoveryResult.engine_stats`` and friends) so callers can
 observe exactly how much join work a run performed — and how much the
 :class:`repro.engine.HopCache` saved.
+
+The snapshot publishes into the observability layer's
+:class:`repro.obs.MetricsRegistry` (``engine.*`` metric names);
+:meth:`ExecutionStats.as_dict` round-trips through a registry and
+:meth:`ExecutionStats.from_dict` re-loads persisted benchmark JSON
+losslessly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.metrics import MetricsRegistry
+
 __all__ = ["EngineStats", "ExecutionStats"]
+
+#: Counter fields of the stats record, in canonical reporting order.
+_COUNTER_FIELDS = (
+    "hops_executed",
+    "index_builds",
+    "cache_hits",
+    "cache_misses",
+    "rows_probed",
+)
 
 
 @dataclass(frozen=True)
@@ -61,16 +78,33 @@ class ExecutionStats:
             rows_probed=self.rows_probed + other.rows_probed,
         )
 
+    def publish(self, registry: MetricsRegistry, prefix: str = "engine") -> MetricsRegistry:
+        """Publish the counters (and the hit-rate gauge) into ``registry``."""
+        for name in _COUNTER_FIELDS:
+            registry.counter(f"{prefix}.{name}").inc(getattr(self, name))
+        registry.gauge(f"{prefix}.cache_hit_rate").set(round(self.cache_hit_rate, 4))
+        return registry
+
     def as_dict(self) -> dict:
-        """Flat dict for reports and the engine-cache benchmark JSON."""
+        """Flat dict for reports and the engine-cache benchmark JSON.
+
+        Round-trips through a :class:`repro.obs.MetricsRegistry`, so the
+        flat view and the registry view can never drift apart.
+        """
+        registry = self.publish(MetricsRegistry())
         return {
-            "hops_executed": self.hops_executed,
-            "index_builds": self.index_builds,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_hit_rate": round(self.cache_hit_rate, 4),
-            "rows_probed": self.rows_probed,
+            "hops_executed": registry.value("engine.hops_executed"),
+            "index_builds": registry.value("engine.index_builds"),
+            "cache_hits": registry.value("engine.cache_hits"),
+            "cache_misses": registry.value("engine.cache_misses"),
+            "cache_hit_rate": registry.value("engine.cache_hit_rate"),
+            "rows_probed": registry.value("engine.rows_probed"),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionStats":
+        """Inverse of :meth:`as_dict` (derived fields are recomputed)."""
+        return cls(**{name: int(data.get(name, 0)) for name in _COUNTER_FIELDS})
 
     def describe(self) -> str:
         """One-line human-readable rendering for summaries."""

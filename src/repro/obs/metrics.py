@@ -1,0 +1,163 @@
+"""Metrics registry: named counters, gauges and histograms.
+
+One :class:`MetricsRegistry` collects a run's numeric observability
+signals under dotted names (``engine.cache_hits``,
+``selection.codes_reused``, ``faults.recorded``).  The existing stats
+records — :class:`repro.engine.ExecutionStats`,
+:class:`repro.selection.SelectionStats` and
+:class:`repro.engine.FailureReport` — publish into a registry via their
+``publish()`` methods and keep their flat fields as backward-compatible
+views; the registry's :meth:`MetricsRegistry.as_dict` payload is what a
+:class:`repro.obs.RunManifest` embeds.
+
+Three instrument kinds, mirroring the usual metrics vocabulary:
+
+* **Counter** — monotonically increasing integer (``inc``);
+* **Gauge** — last-written float (``set``);
+* **Histogram** — streaming summary (count/total/min/max/mean) of an
+  observed value distribution (``observe``), without storing samples.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonic counter; negative increments are rejected."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> "Counter":
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+        return self
+
+
+class Gauge:
+    """Last-value-wins float instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> "Gauge":
+        self.value = float(value)
+        return self
+
+
+class Histogram:
+    """Constant-memory streaming summary of an observed distribution."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> "Histogram":
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    A name belongs to exactly one instrument kind for the registry's
+    lifetime; asking for the same name as a different kind raises, which
+    catches taxonomy typos early.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._check_unique(name, "counter")
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._check_unique(name, "gauge")
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._check_unique(name, "histogram")
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def __contains__(self, name: str) -> bool:
+        return (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        )
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def value(self, name: str):
+        """Current value of a counter or gauge (histograms: summary)."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        if name in self._histograms:
+            return self._histograms[name].summary()
+        raise KeyError(f"unknown metric {name!r}")
+
+    def as_dict(self) -> dict:
+        """JSON-safe payload (the manifest's ``metrics`` section)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }

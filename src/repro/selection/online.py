@@ -25,6 +25,7 @@ import numpy as np
 from scipy import stats
 
 from ..errors import SelectionError
+from ..obs.tracer import NULL_TRACER, Tracer
 from .entropy import conditional_mutual_information, discretize, mutual_information
 
 __all__ = ["AlphaInvestingSelector", "FastOSFSSelector", "partial_correlation_pvalue"]
@@ -81,11 +82,17 @@ class AlphaInvestingSelector:
     stream — exactly the regime of an ever-growing join frontier.
     """
 
-    def __init__(self, initial_wealth: float = 0.5, alpha_delta: float = 0.5):
+    def __init__(
+        self,
+        initial_wealth: float = 0.5,
+        alpha_delta: float = 0.5,
+        tracer: Tracer | None = None,
+    ):
         if initial_wealth <= 0:
             raise SelectionError("initial_wealth must be positive")
         self.wealth = initial_wealth
         self.alpha_delta = alpha_delta
+        self.tracer = tracer or NULL_TRACER
         self._label: np.ndarray | None = None
         self._selected: list[np.ndarray] = []
         self._names: list[str] = []
@@ -112,18 +119,22 @@ class AlphaInvestingSelector:
         """Test one streamed feature; returns True when accepted."""
         if self._label is None:
             raise SelectionError("call start(label) before offering features")
-        self._offers += 1
-        alpha_i = self.wealth / (2.0 * self._offers)
-        if alpha_i <= 0.0:
+        with self.tracer.span("offer", feature=name) as span:
+            self._offers += 1
+            alpha_i = self.wealth / (2.0 * self._offers)
+            if alpha_i <= 0.0:
+                return False
+            p = partial_correlation_pvalue(
+                values, self._label, self._selected_matrix()
+            )
+            if p < alpha_i:
+                self.wealth += self.alpha_delta - alpha_i
+                self._selected.append(np.asarray(values, dtype=np.float64))
+                self._names.append(name)
+                span.event("accepted", p=round(p, 6))
+                return True
+            self.wealth -= alpha_i
             return False
-        p = partial_correlation_pvalue(values, self._label, self._selected_matrix())
-        if p < alpha_i:
-            self.wealth += self.alpha_delta - alpha_i
-            self._selected.append(np.asarray(values, dtype=np.float64))
-            self._names.append(name)
-            return True
-        self.wealth -= alpha_i
-        return False
 
 
 class FastOSFSSelector:
@@ -140,9 +151,11 @@ class FastOSFSSelector:
         self,
         relevance_threshold: float = 0.01,
         ci_threshold: float = 0.005,
+        tracer: Tracer | None = None,
     ):
         self.relevance_threshold = relevance_threshold
         self.ci_threshold = ci_threshold
+        self.tracer = tracer or NULL_TRACER
         self._label_codes: np.ndarray | None = None
         self._selected_codes: list[np.ndarray] = []
         self._names: list[str] = []
@@ -162,15 +175,21 @@ class FastOSFSSelector:
         """Test one streamed feature; returns True when accepted."""
         if self._label_codes is None:
             raise SelectionError("call start(label) before offering features")
-        codes = discretize(np.asarray(values, dtype=np.float64))
-        if mutual_information(codes, self._label_codes) < self.relevance_threshold:
-            return False
-        for selected in self._selected_codes:
-            cmi = conditional_mutual_information(
-                codes, self._label_codes, selected
-            )
-            if cmi < self.ci_threshold:
-                return False  # some selected feature subsumes the candidate
-        self._selected_codes.append(codes)
-        self._names.append(name)
-        return True
+        with self.tracer.span("offer", feature=name) as span:
+            codes = discretize(np.asarray(values, dtype=np.float64))
+            if (
+                mutual_information(codes, self._label_codes)
+                < self.relevance_threshold
+            ):
+                return False
+            for selected in self._selected_codes:
+                cmi = conditional_mutual_information(
+                    codes, self._label_codes, selected
+                )
+                if cmi < self.ci_threshold:
+                    # Some selected feature subsumes the candidate.
+                    return False
+            self._selected_codes.append(codes)
+            self._names.append(name)
+            span.event("accepted")
+            return True

@@ -13,7 +13,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.metrics import MetricsRegistry
+
 __all__ = ["SelectionCounters", "SelectionStats"]
+
+#: Counter fields of the stats record, in canonical reporting order.
+_COUNTER_FIELDS = (
+    "batches_scored",
+    "features_ranked",
+    "codes_cached",
+    "codes_reused",
+    "scalar_fallbacks",
+)
 
 
 @dataclass(frozen=True)
@@ -62,15 +73,30 @@ class SelectionStats:
             scalar_fallbacks=self.scalar_fallbacks + other.scalar_fallbacks,
         )
 
+    def publish(
+        self, registry: MetricsRegistry, prefix: str = "selection"
+    ) -> MetricsRegistry:
+        """Publish the counters (and the reuse-rate gauge) into ``registry``."""
+        for name in _COUNTER_FIELDS:
+            registry.counter(f"{prefix}.{name}").inc(getattr(self, name))
+        registry.gauge(f"{prefix}.code_reuse_rate").set(round(self.code_reuse_rate, 4))
+        return registry
+
     def as_dict(self) -> dict:
-        """Flat dict for reports and the selection-kernel benchmark JSON."""
+        """Flat dict for reports and the selection-kernel benchmark JSON.
+
+        Round-trips through a :class:`repro.obs.MetricsRegistry`, like
+        :meth:`repro.engine.ExecutionStats.as_dict`.
+        """
+        registry = self.publish(MetricsRegistry())
         return {
-            "batches_scored": self.batches_scored,
-            "features_ranked": self.features_ranked,
-            "codes_cached": self.codes_cached,
-            "codes_reused": self.codes_reused,
-            "scalar_fallbacks": self.scalar_fallbacks,
+            name: registry.value(f"selection.{name}") for name in _COUNTER_FIELDS
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SelectionStats":
+        """Inverse of :meth:`as_dict` (derived fields are recomputed)."""
+        return cls(**{name: int(data.get(name, 0)) for name in _COUNTER_FIELDS})
 
     def describe(self) -> str:
         """One-line human-readable rendering for summaries."""
