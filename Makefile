@@ -1,4 +1,4 @@
-.PHONY: check test test-faults trace-smoke bench-engine bench-selection
+.PHONY: check test test-faults test-parallel trace-smoke bench-engine bench-selection bench-parallel
 
 # Fault-isolation fast gate + tier-1 tests + engine-cache and
 # selection-kernel micro-benches (smoke mode).
@@ -11,6 +11,14 @@ test:
 # Fast gate: just the fault-isolation suites (injector, policies, budgets).
 test-faults:
 	PYTHONPATH=src python -m pytest -q tests/engine tests/core -k fault
+
+# Fast gate: parallel-backend parity/stress/manifest suites (threads and
+# processes at max_workers=2, exercising the pickling path) plus the
+# parallel-discovery micro-bench in smoke mode (parity-gated).
+test-parallel:
+	PYTHONPATH=src python -m pytest -q tests/engine/test_parallel_parity.py \
+		tests/core/test_parallel_faults.py tests/obs/test_parallel_manifest.py
+	PYTHONPATH=src python benchmarks/bench_parallel_discovery.py --smoke
 
 # Observability smoke: traced diamond-lake run, manifest schema validation,
 # chrome-trace export, obs CLI, and the <2% no-op tracer overhead gate.
@@ -25,3 +33,8 @@ bench-engine:
 # BENCH_selection_kernels.json.
 bench-selection:
 	PYTHONPATH=src python benchmarks/bench_selection_kernels.py
+
+# Full parallel-discovery benchmark (serial vs threads vs processes at 4
+# workers; parity- and speedup-gated); writes BENCH_parallel_discovery.json.
+bench-parallel:
+	PYTHONPATH=src python benchmarks/bench_parallel_discovery.py

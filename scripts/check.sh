@@ -14,6 +14,15 @@ echo "== fault-isolation fast gate =="
 python -m pytest -q tests/engine tests/core -k fault
 
 echo
+echo "== parallel-backend fast gate =="
+# Parity suites cover all three backends (threads and processes run at
+# max_workers=2, which exercises worker pickling); the smoke bench gates
+# on serial/threads/processes ranking parity.
+python -m pytest -q tests/engine/test_parallel_parity.py \
+    tests/core/test_parallel_faults.py tests/obs/test_parallel_manifest.py
+python benchmarks/bench_parallel_discovery.py --smoke
+
+echo
 echo "== observability fast gate =="
 python -m pytest -q tests/obs
 python scripts/trace_smoke.py

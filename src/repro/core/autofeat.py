@@ -21,12 +21,25 @@ import time
 from collections import deque
 
 from ..dataframe import Table, stratified_sample
-from ..engine import FaultInjector, FaultManager, JoinEngine
+from ..engine import (
+    FaultInjector,
+    FaultManager,
+    HopTask,
+    JoinEngine,
+    PathExecutor,
+    PathTask,
+    plan_hop_faults,
+    plan_path_faults,
+    settle_managed_failure,
+)
+from ..engine.engine import _hop_context
+from ..engine.parallel import simulate_injector_check, walk_injected_faults
 from ..errors import FaultError, JoinError
 from ..graph import DatasetRelationGraph, JoinPath
 from ..ml import evaluate_accuracy
 from ..obs import (
     MetricsRegistry,
+    Span,
     Tracer,
     build_manifest,
     flat_node,
@@ -61,8 +74,16 @@ class AutoFeat:
         self.config = config or AutoFeatConfig()
         self.fault_injector = fault_injector
 
-    def _engine(self, tracer: Tracer | None = None) -> JoinEngine:
-        """One per-run engine carrying the config's hop budgets."""
+    def _engine(
+        self, tracer: Tracer | None = None, install_injector: bool = True
+    ) -> JoinEngine:
+        """One per-run engine carrying the config's hop budgets.
+
+        Parallel runs pass ``install_injector=False``: injected faults
+        are resolved canonically at work-unit *generation* time (see
+        :mod:`repro.engine.parallel`), so the engine — and every worker
+        view derived from it — must not consult the injector again.
+        """
         config = self.config
         return JoinEngine(
             self.drg,
@@ -70,8 +91,9 @@ class AutoFeat:
             enable_cache=config.enable_hop_cache,
             hop_timeout_seconds=config.hop_timeout_seconds,
             max_output_rows=config.max_hop_output_rows,
-            fault_injector=self.fault_injector,
+            fault_injector=self.fault_injector if install_injector else None,
             tracer=tracer,
+            hop_latency_seconds=config.hop_latency_seconds,
         )
 
     def _tracer(self) -> Tracer:
@@ -113,7 +135,19 @@ class AutoFeat:
         timing source, not parallel bookkeeping — and the run's
         :class:`repro.obs.RunManifest` lands on
         ``DiscoveryResult.run_manifest``.
+
+        With ``config.parallel_backend`` set to ``"threads"`` or
+        ``"processes"``, frontier hops execute on a worker pool and merge
+        deterministically — the result is bit-identical to the serial
+        traversal (same ranked paths, scores, selected features, failure
+        report); see :meth:`_discover_parallel`.
         """
+        if self.config.parallel_backend != "serial":
+            return self._discover_parallel(base_name, label_column)
+        return self._discover_serial(base_name, label_column)
+
+    def _discover_serial(self, base_name: str, label_column: str) -> DiscoveryResult:
+        """The single-threaded reference traversal (the parity baseline)."""
         config = self.config
         tracer = self._tracer()
         started = time.perf_counter()
@@ -297,6 +331,347 @@ class AutoFeat:
             run_manifest=manifest,
         )
 
+    # -- parallel discovery ---------------------------------------------------
+
+    def _attempts(self) -> int:
+        """Attempts per managed operation, mirroring ``FaultManager.execute``."""
+        if self.config.failure_policy == "retry":
+            return 1 + self.config.max_retries
+        return 1
+
+    @staticmethod
+    def _graft_worker_spans(tracer: Tracer, wave, outcome, rebase: bool) -> None:
+        """Attach a work unit's span tree under the open wave span.
+
+        Process workers time against their own ``perf_counter_ns`` clock,
+        so their trees are rebased onto the wave's start before grafting;
+        thread workers share the parent's clock and graft verbatim.
+        """
+        if not tracer.enabled or not outcome.spans:
+            return
+        for data in outcome.spans:
+            span = Span.from_dict(data)
+            if rebase:
+                span.shift(wave.start_ns - span.start_ns)
+            wave.children.append(span)
+
+    def _discover_parallel(
+        self, base_name: str, label_column: str
+    ) -> DiscoveryResult:
+        """Wave-parallel Algorithm 1 with a deterministic merge.
+
+        The traversal advances in *waves*: under BFS one wave is the whole
+        current frontier level (draining the deque reproduces the serial
+        pop order exactly), under DFS it is the newest entry's edge
+        fan-out (what serial expands before descending).  Work units are
+        enumerated in canonical order — the same ``neighbors`` /
+        ``best_join_options`` loops as serial, with similarity pruning and
+        fault planning done here on the coordinating thread — executed on
+        the configured backend, and merged back **in enumeration order**:
+        quality pruning, streaming feature selection, ranking, frontier
+        growth and the failure policy (with its shared error budget) all
+        happen at the merge point only.  That ordering is the entire
+        determinism argument: every order-sensitive decision consumes
+        worker output in exactly the sequence serial would have produced
+        it, so ranked paths, scores, selected features and failure
+        reports are bit-identical across backends.
+        """
+        config = self.config
+        tracer = self._tracer()
+        started = time.perf_counter()
+        engine = self._engine(tracer, install_injector=False)
+        injector = self.fault_injector
+        faults = self._faults("discovery")
+        attempts = self._attempts()
+        fail_fast = config.failure_policy == "fail_fast"
+
+        base = self.drg.table(base_name)
+        if label_column not in base:
+            raise JoinError(
+                f"base table {base_name!r} has no label column {label_column!r}"
+            )
+
+        fallback_selection = 0.0
+
+        def scored(fn, **attrs):
+            nonlocal fallback_selection
+            if tracer.enabled:
+                with tracer.span("selection", **attrs):
+                    return fn()
+            scoring_started = time.perf_counter()
+            try:
+                return fn()
+            finally:
+                fallback_selection += time.perf_counter() - scoring_started
+
+        ranked: list[RankedPath] = []
+        explored = 0
+        pruned_quality = 0
+        pruned_similarity = 0
+        empty_contribution = 0
+        waves = 0
+
+        executor = PathExecutor(
+            engine,
+            backend=config.parallel_backend,
+            max_workers=config.max_workers,
+            trace_spans=tracer.enabled,
+        )
+        try:
+            with tracer.span(
+                "discover", base=base_name, label=label_column
+            ) as root:
+                with tracer.span("sample", size=config.sample_size):
+                    sample = stratified_sample(
+                        base, label_column, config.sample_size, seed=config.seed
+                    )
+                label = sample.column(label_column).to_float()
+
+                selector = StreamingFeatureSelector(config, label)
+                base_features = [
+                    n for n in sample.column_names if n != label_column
+                ]
+                if base_features:
+                    scored(
+                        lambda: selector.seed_with(
+                            base_features, sample.numeric_matrix(base_features)
+                        ),
+                        batch="seed",
+                    )
+
+                frontier: deque[tuple[JoinPath, Table, tuple[str, ...]]] = deque(
+                    [(JoinPath(base_name), sample, ())]
+                )
+                while frontier:
+                    # One wave: the whole frontier level (BFS — level-
+                    # synchronous draining reproduces serial pop order) or
+                    # the single newest entry (DFS — serial fully fans an
+                    # entry out before descending into its last child).
+                    if config.traversal == "bfs":
+                        entries = list(frontier)
+                        frontier.clear()
+                    else:
+                        entries = [frontier.pop()]
+
+                    tasks: list[HopTask] = []
+                    for path, current, path_features in entries:
+                        if path.length >= config.max_path_length:
+                            continue
+                        visited = set(path.nodes)
+                        for neighbor in self.drg.neighbors(path.terminal):
+                            if neighbor in visited:
+                                continue
+                            pruned_similarity += similarity_pruned_count(
+                                self.drg, path.terminal, neighbor
+                            )
+                            for edge in self.drg.best_join_options(
+                                path.terminal, neighbor
+                            ):
+                                explored += 1
+                                plan = plan_hop_faults(
+                                    injector,
+                                    edge,
+                                    attempts=attempts,
+                                    base_name=base_name,
+                                    path=path,
+                                )
+                                tasks.append(
+                                    HopTask(
+                                        index=len(tasks),
+                                        path=path,
+                                        edge=edge,
+                                        table=current,
+                                        base_name=base_name,
+                                        features=path_features,
+                                        plan=plan,
+                                    )
+                                )
+                    if not tasks:
+                        continue
+                    waves += 1
+                    with tracer.span(
+                        "wave",
+                        parallel=True,
+                        backend=executor.backend,
+                        workers=executor.workers_used,
+                        units=len(tasks),
+                    ) as wave:
+                        outcomes = executor.run_hops(tasks)
+                        for task, outcome in zip(tasks, outcomes):
+                            self._graft_worker_spans(
+                                tracer, wave, outcome, executor.rebase_spans
+                            )
+                            if outcome.stats is not None:
+                                engine.stats.absorb(outcome.stats)
+                            if not outcome.dispatched:
+                                # Injector exhausted every attempt at plan
+                                # time; serial would never execute the join.
+                                if fail_fast:
+                                    raise task.plan.exception
+                                faults.record(
+                                    task.plan.exception,
+                                    base=base_name,
+                                    path=task.path,
+                                    edge=task.edge,
+                                    retries=task.plan.retries,
+                                )
+                                continue
+                            hop = None
+                            if outcome.error is None:
+                                hop = (outcome.joined, outcome.contributed)
+                            elif isinstance(outcome.error, FaultError):
+                                if fail_fast:
+                                    raise outcome.error
+                                passed_at = (
+                                    task.plan.passed_at
+                                    if task.plan is not None
+                                    else 0
+                                )
+
+                                def simulate(task=task):
+                                    exc = simulate_injector_check(
+                                        injector, task.edge
+                                    )
+                                    if exc is None:
+                                        return None
+                                    return type(exc)(
+                                        f"{exc}; "
+                                        f"{_hop_context(base_name, task.path, task.edge)}"
+                                    )
+
+                                def rerun(task=task):
+                                    return engine.apply_hop(
+                                        task.table,
+                                        task.edge,
+                                        base_name,
+                                        path=task.path,
+                                    )
+
+                                try:
+                                    hop, recorded = settle_managed_failure(
+                                        attempts=attempts,
+                                        passed_at=passed_at,
+                                        first_exc=outcome.error,
+                                        simulate=simulate,
+                                        rerun=rerun,
+                                        kinds=(FaultError,),
+                                    )
+                                except JoinError:
+                                    pruned_quality += 1
+                                    continue
+                                if recorded is not None:
+                                    last, retries = recorded
+                                    faults.record(
+                                        last,
+                                        base=base_name,
+                                        path=task.path,
+                                        edge=task.edge,
+                                        retries=retries,
+                                    )
+                                    continue
+                            else:
+                                # Ordinary JoinError: Algorithm 1's pruning
+                                # input, identical handling to serial.
+                                pruned_quality += 1
+                                continue
+
+                            joined, contributed = hop
+                            comp = completeness(joined, contributed)
+                            if not contributed:
+                                empty_contribution += 1
+                            elif comp < config.tau:
+                                pruned_quality += 1
+                                continue
+
+                            join_key = qualified(
+                                task.edge.target, task.edge.target_column
+                            )
+                            candidates = [
+                                c for c in contributed if c != join_key
+                            ]
+                            outcome_batch = scored(
+                                lambda: selector.process_batch(
+                                    candidates, joined.numeric_matrix(candidates)
+                                ),
+                                features=len(candidates),
+                            )
+                            score = compute_ranking_score(
+                                outcome_batch.relevance_scores,
+                                outcome_batch.redundancy_scores,
+                            )
+                            new_path = task.path.extend(task.edge)
+                            new_features = (
+                                task.features + outcome_batch.accepted_names
+                            )
+                            ranked.append(
+                                RankedPath(
+                                    path=new_path,
+                                    score=score,
+                                    selected_features=new_features,
+                                    relevance_scores=outcome_batch.relevance_scores,
+                                    redundancy_scores=outcome_batch.redundancy_scores,
+                                    completeness=comp,
+                                    relevant_names=outcome_batch.relevant_names,
+                                )
+                            )
+                            frontier.append((new_path, joined, new_features))
+        finally:
+            executor.close()
+
+        if tracer.enabled:
+            discovery_seconds = root.seconds
+            selection_seconds = tracer.total_seconds("selection")
+        else:
+            discovery_seconds = time.perf_counter() - started
+            selection_seconds = fallback_selection
+
+        ranked.sort(key=lambda r: (-r.score, r.path.length, r.path.describe()))
+        engine_stats = engine.snapshot()
+        selection_stats = selector.stats
+        failure_report = faults.report()
+        manifest = self._discovery_manifest(
+            tracer,
+            engine_stats,
+            selection_stats,
+            failure_report,
+            discovery_seconds=discovery_seconds,
+            selection_seconds=selection_seconds,
+            counters={
+                "discovery.paths_explored": explored,
+                "discovery.paths_ranked": len(ranked),
+                "discovery.pruned_quality": pruned_quality,
+                "discovery.pruned_similarity": pruned_similarity,
+                "discovery.hops_empty_contribution": empty_contribution,
+                "discovery.waves": waves,
+            },
+            gauges=self._parallel_gauges(executor),
+        )
+        return DiscoveryResult(
+            base_table=base_name,
+            label_column=label_column,
+            ranked_paths=tuple(ranked),
+            n_paths_explored=explored,
+            n_paths_pruned_quality=pruned_quality,
+            n_joins_pruned_similarity=pruned_similarity,
+            feature_selection_seconds=selection_seconds,
+            discovery_seconds=discovery_seconds,
+            engine_stats=engine_stats,
+            selection_stats=selection_stats,
+            n_hops_empty_contribution=empty_contribution,
+            failure_report=failure_report,
+            run_manifest=manifest,
+        )
+
+    @staticmethod
+    def _parallel_gauges(executor: PathExecutor) -> dict:
+        """The parallel-execution gauges a worker-pool run reports."""
+        return {
+            "parallel.workers_used": executor.workers_used,
+            "parallel.speedup": round(executor.effective_speedup, 4),
+            "parallel.busy_seconds": round(executor.busy_seconds, 6),
+            "parallel.wall_seconds": round(executor.parallel_wall_seconds, 6),
+        }
+
     def _discovery_manifest(
         self,
         tracer: Tracer,
@@ -306,6 +681,7 @@ class AutoFeat:
         discovery_seconds: float,
         selection_seconds: float,
         counters: dict[str, int],
+        gauges: dict | None = None,
     ):
         """Assemble the discovery-phase :class:`repro.obs.RunManifest`."""
         registry = MetricsRegistry()
@@ -314,6 +690,8 @@ class AutoFeat:
         failure_report.publish(registry)
         for name, value in counters.items():
             registry.counter(name).inc(value)
+        for name, value in (gauges or {}).items():
+            registry.gauge(name).set(value)
         timing = None
         if not tracer.enabled:
             # Untraced runs still get a minimal two-node tree so stage
@@ -360,7 +738,22 @@ class AutoFeat:
         tree (``train > path > evaluate``) that is composed with the
         discovery phase's tree into one ``augment`` manifest on
         ``AugmentationResult.run_manifest``.
+
+        With ``config.parallel_backend`` set to ``"threads"`` or
+        ``"processes"``, the top-k paths materialise and train on a
+        worker pool and merge deterministically in ranked order; see
+        :meth:`_train_parallel`.
         """
+        if self.config.parallel_backend != "serial":
+            return self._train_parallel(discovery, model_name)
+        return self._train_serial(discovery, model_name)
+
+    def _train_serial(
+        self,
+        discovery: DiscoveryResult,
+        model_name: str = "lightgbm",
+    ) -> AugmentationResult:
+        """The single-threaded reference training pass (parity baseline)."""
         started = time.perf_counter()
         config = self.config
         tracer = self._tracer()
@@ -452,6 +845,208 @@ class AutoFeat:
             run_manifest=manifest,
         )
 
+    def _train_parallel(
+        self,
+        discovery: DiscoveryResult,
+        model_name: str = "lightgbm",
+    ) -> AugmentationResult:
+        """Worker-pool top-k training with a deterministic merge.
+
+        The top-k paths are independent work units (materialise + train),
+        dispatched as one wave and merged back in ranked order: trained
+        paths, failure records and the best-path tie-break (first index
+        wins on equal accuracy) consume outcomes exactly as the serial
+        loop would, so the result is bit-identical across backends.
+        Injected faults are pre-resolved per path at task-generation time
+        (the injector walks each path's edges in canonical order); a real
+        materialisation failure on a dispatched unit continues the serial
+        retry loop at the merge point.
+        """
+        started = time.perf_counter()
+        config = self.config
+        tracer = self._tracer()
+        engine = self._engine(tracer, install_injector=False)
+        injector = self.fault_injector
+        faults = self._faults("training")
+        attempts = self._attempts()
+        fail_fast = config.failure_policy == "fail_fast"
+        base = self.drg.table(discovery.base_table)
+        base_features = [
+            n for n in base.column_names if n != discovery.label_column
+        ]
+
+        trained: list[TrainedPath] = []
+        tables: list[Table] = []
+        executor = PathExecutor(
+            engine,
+            backend=config.parallel_backend,
+            max_workers=config.max_workers,
+            trace_spans=tracer.enabled,
+        )
+        try:
+            with tracer.span(
+                "train", base=discovery.base_table, model=model_name
+            ) as root:
+                top = list(discovery.top(config.top_k))
+                tasks: list[PathTask] = []
+                for i, ranked in enumerate(top):
+                    plan = plan_path_faults(
+                        injector,
+                        ranked.path,
+                        attempts=attempts,
+                        base_name=discovery.base_table,
+                    )
+                    tasks.append(
+                        PathTask(
+                            index=i,
+                            path=ranked.path,
+                            selected_features=ranked.selected_features,
+                            base_name=discovery.base_table,
+                            label_column=discovery.label_column,
+                            model_name=model_name,
+                            seed=config.seed,
+                            plan=plan,
+                        )
+                    )
+                if tasks:
+                    with tracer.span(
+                        "wave",
+                        parallel=True,
+                        backend=executor.backend,
+                        workers=executor.workers_used,
+                        units=len(tasks),
+                    ) as wave:
+                        outcomes = executor.run_paths(tasks)
+                        for task, ranked, outcome in zip(tasks, top, outcomes):
+                            self._graft_worker_spans(
+                                tracer, wave, outcome, executor.rebase_spans
+                            )
+                            if outcome.stats is not None:
+                                engine.stats.absorb(outcome.stats)
+                            if not outcome.dispatched:
+                                if fail_fast:
+                                    raise task.plan.exception
+                                faults.record(
+                                    task.plan.exception,
+                                    base=discovery.base_table,
+                                    path=task.path,
+                                    retries=task.plan.retries,
+                                )
+                                continue
+                            if outcome.error is not None:
+                                if fail_fast:
+                                    raise outcome.error
+                                passed_at = (
+                                    task.plan.passed_at
+                                    if task.plan is not None
+                                    else 0
+                                )
+
+                                def simulate(task=task):
+                                    return walk_injected_faults(
+                                        injector, task.path, discovery.base_table
+                                    )
+
+                                def rerun(task=task):
+                                    table, __ = engine.materialize_path(
+                                        task.path, base
+                                    )
+                                    features = base_features + [
+                                        f
+                                        for f in task.selected_features
+                                        if f in table
+                                    ]
+                                    acc = evaluate_accuracy(
+                                        table,
+                                        discovery.label_column,
+                                        model_name=model_name,
+                                        feature_names=features,
+                                        seed=config.seed,
+                                    )
+                                    return table, acc, len(features)
+
+                                result, recorded = settle_managed_failure(
+                                    attempts=attempts,
+                                    passed_at=passed_at,
+                                    first_exc=outcome.error,
+                                    simulate=simulate,
+                                    rerun=rerun,
+                                    kinds=(JoinError, FaultError),
+                                )
+                                if recorded is not None:
+                                    last, retries = recorded
+                                    faults.record(
+                                        last,
+                                        base=discovery.base_table,
+                                        path=task.path,
+                                        retries=retries,
+                                    )
+                                    continue
+                                table, acc, n_features = result
+                            else:
+                                table = outcome.table
+                                acc = outcome.accuracy
+                                n_features = outcome.n_features_used
+                            trained.append(
+                                TrainedPath(
+                                    ranked=ranked,
+                                    accuracy=acc,
+                                    n_features_used=n_features,
+                                )
+                            )
+                            tables.append(table)
+        finally:
+            executor.close()
+
+        best = None
+        augmented = None
+        if trained:
+            best_idx = max(
+                range(len(trained)), key=lambda i: trained[i].accuracy
+            )
+            best = trained[best_idx]
+            keep = (
+                base_features
+                + [
+                    f
+                    for f in best.ranked.selected_features
+                    if f in tables[best_idx]
+                ]
+                + [discovery.label_column]
+            )
+            augmented = tables[best_idx].select(keep)
+
+        if tracer.enabled:
+            train_seconds = root.seconds
+        else:
+            train_seconds = time.perf_counter() - started
+        total_seconds = discovery.discovery_seconds + train_seconds
+        engine_stats = engine.snapshot()
+        failure_report = faults.report()
+        manifest = self._augment_manifest(
+            discovery,
+            tracer,
+            engine_stats,
+            failure_report,
+            train_seconds=train_seconds,
+            total_seconds=total_seconds,
+            n_trained=len(trained),
+            best=best,
+            gauges=self._parallel_gauges(executor),
+        )
+
+        return AugmentationResult(
+            discovery=discovery,
+            trained=tuple(trained),
+            best=best,
+            augmented_table=augmented,
+            model_name=model_name,
+            total_seconds=total_seconds,
+            engine_stats=engine_stats,
+            failure_report=failure_report,
+            run_manifest=manifest,
+        )
+
     def _augment_manifest(
         self,
         discovery: DiscoveryResult,
@@ -462,6 +1057,7 @@ class AutoFeat:
         total_seconds: float,
         n_trained: int,
         best,
+        gauges: dict | None = None,
     ):
         """Compose discovery + training into one ``augment`` manifest."""
         registry = MetricsRegistry()
@@ -471,6 +1067,8 @@ class AutoFeat:
         registry.counter("train.paths_trained").inc(n_trained)
         if best is not None:
             registry.gauge("train.best_accuracy").set(round(best.accuracy, 6))
+        for name, value in (gauges or {}).items():
+            registry.gauge(name).set(value)
 
         if tracer.enabled:
             train_tree = tracer.timing_tree()

@@ -17,6 +17,7 @@ from ..engine.faults import (
     DEFAULT_MAX_RETRIES,
     FAILURE_POLICIES,
 )
+from ..engine.parallel import PARALLEL_BACKENDS
 from ..errors import ConfigError
 from ..selection.redundancy import REDUNDANCY_METHODS
 from ..selection.relevance import RELEVANCE_METRICS
@@ -97,6 +98,26 @@ class AutoFeatConfig:
         Per-hop output-row cap enforced by the engine before any join
         work happens (exact, because left joins through deduped indexes
         preserve probe-side cardinality).  None disables the guard.
+    parallel_backend:
+        Execution backend for discovery hops and top-k training paths:
+        ``"serial"`` (the default single-thread loop), ``"threads"`` or
+        ``"processes"`` (worker pools via :mod:`concurrent.futures`,
+        driven by :class:`repro.engine.PathExecutor`).  Results are
+        **bit-identical** across backends — work units carry their
+        enumeration index and all order-sensitive state (feature
+        selection, ranking, frontier growth, failure policy) advances
+        only at the canonical merge points — so this knob trades wall
+        time, never correctness.  See DESIGN.md §11 for the backend
+        matrix and GIL caveats.
+    max_workers:
+        Worker count for the parallel backends (None = automatic;
+        ignored under ``serial``).
+    hop_latency_seconds:
+        Simulated per-hop remote-fetch latency injected by the
+        :class:`~repro.engine.JoinEngine` (0.0 = off).  A benchmarking
+        knob: it models a lake whose tables are fetched over a network
+        and is what lets ``bench_parallel_discovery`` measure backend
+        speedups machine-independently.
     enable_tracing:
         Record the run's hierarchical timing tree
         (``discover > hop > join / selection``) through
@@ -129,6 +150,9 @@ class AutoFeatConfig:
     max_retries: int = DEFAULT_MAX_RETRIES
     hop_timeout_seconds: float | None = None
     max_hop_output_rows: int | None = None
+    parallel_backend: str = "serial"
+    max_workers: int | None = None
+    hop_latency_seconds: float = 0.0
     enable_tracing: bool = True
     seed: int = 0
 
@@ -179,6 +203,20 @@ class AutoFeatConfig:
             raise ConfigError(
                 f"max_hop_output_rows must be >= 1 or None, "
                 f"got {self.max_hop_output_rows}"
+            )
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise ConfigError(
+                f"unknown parallel backend {self.parallel_backend!r}; "
+                f"expected one of {list(PARALLEL_BACKENDS)}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ConfigError(
+                f"max_workers must be >= 1 or None, got {self.max_workers}"
+            )
+        if self.hop_latency_seconds < 0:
+            raise ConfigError(
+                f"hop_latency_seconds must be >= 0, "
+                f"got {self.hop_latency_seconds}"
             )
         if self.redundancy_method not in REDUNDANCY_METHODS:
             raise ConfigError(

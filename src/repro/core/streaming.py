@@ -23,6 +23,16 @@ O(|S|·n) cost that grows quadratically over a traversal — on every hop.
 Scores are bit-identical with the kernels on or off; the
 :class:`repro.selection.SelectionStats` counters on :attr:`stats` record
 how much work the cache saved.
+
+**Parallel-execution contract**: the selector is *order-dependent* state —
+redundancy scores depend on everything accepted before — and is therefore
+never shared with, or updated by, worker threads/processes.  Under
+``config.parallel_backend != "serial"`` the coordinator calls
+:meth:`StreamingFeatureSelector.process_batch` only at the deterministic
+merge points, consuming hop outcomes in canonical enumeration order (see
+:mod:`repro.engine.parallel` and DESIGN.md §11), which is what keeps the
+accepted-feature sequence — and with it every downstream ranking score —
+bit-identical across backends.  The selector itself needs no locks.
 """
 
 from __future__ import annotations

@@ -21,6 +21,19 @@ from .faults import (
 )
 from .hop_cache import HopCache
 from .naming import qualified, source_column_name
+from .parallel import (
+    PARALLEL_BACKENDS,
+    FaultPlan,
+    HopOutcome,
+    HopTask,
+    PathExecutor,
+    PathOutcome,
+    PathTask,
+    plan_hop_faults,
+    plan_path_faults,
+    resolve_max_workers,
+    settle_managed_failure,
+)
 from .stats import EngineStats, ExecutionStats
 
 __all__ = [
@@ -37,4 +50,15 @@ __all__ = [
     "FailureReport",
     "FaultManager",
     "FaultInjector",
+    "PARALLEL_BACKENDS",
+    "PathExecutor",
+    "FaultPlan",
+    "HopTask",
+    "PathTask",
+    "HopOutcome",
+    "PathOutcome",
+    "resolve_max_workers",
+    "plan_hop_faults",
+    "plan_path_faults",
+    "settle_managed_failure",
 ]

@@ -79,6 +79,18 @@ class JoinEngine:
         caller's current span, and hop-cache lookups emit ``cache_hit`` /
         ``cache_miss`` events onto it.  Defaults to the shared no-op
         tracer.
+    hop_latency_seconds:
+        Simulated per-hop I/O latency (a ``time.sleep`` inside the join
+        span), modelling a lake whose right-hand tables are fetched
+        remotely.  This is a benchmarking/testing knob — it lets
+        ``bench_parallel_discovery`` demonstrate backend speedups on any
+        machine, because sleeping releases the GIL — and is 0.0 (off) in
+        normal runs.  The sleep counts toward the hop's wall-clock budget.
+    cache:
+        Share an existing :class:`HopCache` instead of creating one —
+        how per-worker engine views of a parallel run reuse the parent
+        run's build state.  When given, ``enable_cache`` is ignored in
+        favour of the shared cache's own setting.
     """
 
     def __init__(
@@ -90,15 +102,41 @@ class JoinEngine:
         max_output_rows: int | None = None,
         fault_injector: FaultInjector | None = None,
         tracer: Tracer | None = None,
+        hop_latency_seconds: float = 0.0,
+        cache: HopCache | None = None,
     ):
         self.drg = drg
         self.seed = seed
-        self.cache = HopCache(enabled=enable_cache)
+        self.cache = cache if cache is not None else HopCache(enabled=enable_cache)
         self.stats = EngineStats()
         self.hop_timeout_seconds = hop_timeout_seconds
         self.max_output_rows = max_output_rows
         self.fault_injector = fault_injector
         self.tracer = tracer or NULL_TRACER
+        self.hop_latency_seconds = hop_latency_seconds
+
+    def worker_view(self, tracer: Tracer | None = None) -> "JoinEngine":
+        """A per-work-unit handle on this engine for parallel execution.
+
+        The view shares the DRG and the (single-flight) :class:`HopCache`
+        — so cross-path build reuse spans all workers of a run — but
+        counts into its own fresh :class:`EngineStats`, which the
+        coordinator absorbs at the deterministic merge point.  The fault
+        injector is deliberately dropped: parallel runs resolve injected
+        faults canonically at work-unit *generation* time (seeded per
+        hop), never inside a worker, so same-seed runs inject identical
+        faults regardless of worker scheduling.
+        """
+        return JoinEngine(
+            self.drg,
+            seed=self.seed,
+            hop_timeout_seconds=self.hop_timeout_seconds,
+            max_output_rows=self.max_output_rows,
+            fault_injector=None,
+            tracer=tracer,
+            hop_latency_seconds=self.hop_latency_seconds,
+            cache=self.cache,
+        )
 
     # -- plan phase ---------------------------------------------------------
 
@@ -178,6 +216,10 @@ class JoinEngine:
         with self.tracer.span(
             "join", table=edge.target, key=edge.target_column, rows=current.n_rows
         ):
+            if self.hop_latency_seconds > 0.0:
+                # Simulated remote-lake fetch latency; sleeping releases
+                # the GIL, so the threads backend overlaps these waits.
+                time.sleep(self.hop_latency_seconds)
             try:
                 index = self.hop_index(edge)
             except JoinError as exc:

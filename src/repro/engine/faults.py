@@ -120,6 +120,23 @@ class FailureReport:
             records=self.records + other.records,
         )
 
+    @classmethod
+    def merge(cls, reports) -> "FailureReport":
+        """Concatenate any iterable of reports (policy/budget from the first).
+
+        Parallel runs record failures only at the deterministic merge
+        points, so per-phase reports concatenated here are already in
+        canonical order; this helper exists for multi-phase and
+        multi-partition aggregation.
+        """
+        reports = list(reports)
+        if not reports:
+            return cls()
+        merged = reports[0]
+        for report in reports[1:]:
+            merged = merged.merged(report)
+        return merged
+
     def publish(self, registry, prefix: str = "faults"):
         """Publish the failure accounting into a
         :class:`repro.obs.MetricsRegistry` (total, budget and per-kind

@@ -15,10 +15,18 @@ immutable, and the representative-row choice inside
 executing through the cache is bit-identical to rebuilding per hop
 (verified by the engine parity tests and the ``bench_engine_cache``
 micro-benchmark).
+
+Thread safety: the ``threads`` parallel backend shares one cache between
+every worker of a run, so :meth:`HopCache.get_or_build` is single-flight —
+concurrent probes of a cold key elect exactly one builder while the rest
+wait on its result.  The counters stay *exact* under contention: each key
+costs one miss and one build no matter how many workers race it, and every
+other lookup is a hit — the same totals a serial traversal produces.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from ..dataframe import JoinIndex
@@ -41,6 +49,9 @@ class HopCache:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._indexes: dict[tuple[str, str, int], JoinIndex] = {}
+        self._lock = threading.Lock()
+        #: Per-key build latches: present while exactly one caller builds.
+        self._building: dict[tuple[str, str, int], threading.Event] = {}
 
     def __len__(self) -> int:
         return len(self._indexes)
@@ -50,7 +61,8 @@ class HopCache:
 
     def clear(self) -> None:
         """Drop every cached index (e.g. between unrelated discovery runs)."""
-        self._indexes.clear()
+        with self._lock:
+            self._indexes.clear()
 
     def get_or_build(
         self,
@@ -68,20 +80,46 @@ class HopCache:
         place: ``index_builds`` on every build, ``cache_hits`` /
         ``cache_misses`` only when the cache is enabled (a disabled cache
         performs no lookups).
+
+        Single-flight under threads: concurrent calls for the same cold key
+        run ``builder`` exactly once; the losers block until the winner
+        publishes the index and then count an ordinary hit.  If the winner's
+        builder raises, the waiters retry the lookup themselves (one becomes
+        the new builder and surfaces the same deterministic error), which
+        matches the serial counter sequence for failing builds exactly.
         """
         if not self.enabled:
             if stats is not None:
                 stats.index_builds += 1
             return builder()
         key = (table_name, key_column, seed)
-        cached = self._indexes.get(key)
-        if cached is not None:
-            if stats is not None:
-                stats.cache_hits += 1
-            return cached
-        if stats is not None:
-            stats.cache_misses += 1
-            stats.index_builds += 1
-        index = builder()
-        self._indexes[key] = index
+        while True:
+            with self._lock:
+                cached = self._indexes.get(key)
+                if cached is not None:
+                    if stats is not None:
+                        stats.cache_hits += 1
+                    return cached
+                event = self._building.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._building[key] = event
+                    # Counters move under the lock, and only for the
+                    # elected builder — one miss + one build per cold key.
+                    if stats is not None:
+                        stats.cache_misses += 1
+                        stats.index_builds += 1
+                    break
+            event.wait()
+        try:
+            index = builder()
+        except BaseException:
+            with self._lock:
+                self._building.pop(key, None)
+            event.set()
+            raise
+        with self._lock:
+            self._indexes[key] = index
+            self._building.pop(key, None)
+        event.set()
         return index

@@ -1,0 +1,543 @@
+"""Parallel join-path execution with a deterministic merge.
+
+The discovery BFS and the top-k training pass are embarrassingly parallel
+*between* work units — a hop's join depends only on its probe-side table
+and its DRG edge, never on selection state — but AutoFeat's results must
+stay bit-identical to the serial traversal.  This module supplies the
+worker side of that contract; :class:`repro.core.AutoFeat` supplies the
+merge side.  The split is:
+
+* **workers execute pure joins** — a :class:`HopTask` (one frontier hop)
+  or :class:`PathTask` (one top-k materialise + evaluate) runs on a
+  :meth:`~repro.engine.JoinEngine.worker_view` of the run's engine and
+  returns a :class:`HopOutcome` / :class:`PathOutcome` carrying the data,
+  a private stats delta, its span tree and any *managed* error;
+* **the coordinator merges in canonical order** — work units carry their
+  enumeration ``index``, and :class:`PathExecutor` returns outcomes in
+  exactly that order regardless of completion order.  All order-sensitive
+  state — streaming feature selection, ranking, frontier growth, the
+  failure policy and its shared error budget — advances only at the merge
+  point, on the coordinating thread.
+
+Determinism of injected faults is preserved by resolving the
+:class:`~repro.engine.FaultInjector` *at work-unit generation time* in
+canonical order (:func:`plan_hop_faults` / :func:`plan_path_faults`
+replay the exact ``FaultManager.execute`` attempt loop against the real
+injector), so a unit arrives at a worker either with a pre-resolved
+failure (never dispatched) or with the attempt index at which the
+injector passed.  A unit that then fails with a *real* managed error
+continues the serial attempt loop at the merge point via
+:func:`settle_managed_failure`.
+
+Backends: ``serial`` runs units inline (the uniformity baseline),
+``threads`` shares the engine's single-flight :class:`HopCache` across a
+:class:`~concurrent.futures.ThreadPoolExecutor` (joins release the GIL
+only while sleeping on simulated latency, so CPU-bound speedups are
+modest — see DESIGN.md §11), and ``processes`` gives each worker process
+its own engine + cache via a :class:`~concurrent.futures.ProcessPoolExecutor`
+initializer (results identical; cache hit counters reflect the per-worker
+caches).
+
+Unexpected worker exceptions (anything outside ``JoinError`` /
+``FaultError``) are never swallowed: they re-raise on the coordinating
+thread from ``future.result()`` during the in-order collection.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..dataframe import Table
+from ..errors import ConfigError, FaultError, JoinError
+from ..graph import JoinPath, OrientedEdge
+from ..obs.tracer import Tracer
+from .engine import JoinEngine, _hop_context
+
+__all__ = [
+    "PARALLEL_BACKENDS",
+    "FaultPlan",
+    "HopTask",
+    "PathTask",
+    "HopOutcome",
+    "PathOutcome",
+    "PathExecutor",
+    "resolve_max_workers",
+    "plan_hop_faults",
+    "plan_path_faults",
+    "settle_managed_failure",
+    "simulate_injector_check",
+]
+
+#: The three execution backends a run can use.
+#:
+#: * ``serial`` — work units run inline on the coordinating thread, in
+#:   canonical order (the baseline every parity test compares against);
+#: * ``threads`` — a shared-memory pool; all workers share the run's
+#:   single-flight :class:`HopCache`, so engine counters match serial
+#:   exactly;
+#: * ``processes`` — per-worker engines and caches behind pickled task
+#:   payloads; results are identical, cache counters are per-worker.
+PARALLEL_BACKENDS = ("serial", "threads", "processes")
+
+
+def resolve_max_workers(backend: str, max_workers: int | None = None) -> int:
+    """The worker count a backend actually uses (``None`` = auto).
+
+    ``serial`` is always 1.  The automatic choice oversubscribes threads
+    (they spend their time blocked on simulated I/O or the GIL) and
+    matches CPU count for processes.
+    """
+    if backend == "serial":
+        return 1
+    if max_workers is not None:
+        return max(1, max_workers)
+    cpus = os.cpu_count() or 1
+    return min(32, cpus * 4) if backend == "threads" else cpus
+
+
+# -- fault planning ---------------------------------------------------------
+
+
+@dataclass
+class FaultPlan:
+    """Pre-resolved injector schedule for one work unit.
+
+    Either the injector exhausted every attempt (``exception`` is set; the
+    unit is never dispatched and the coordinator records/raises it at the
+    unit's canonical merge position) or it passed at attempt
+    ``passed_at`` (the unit is dispatched; ``passed_at`` seeds the retry
+    accounting if the dispatched work then fails for real).
+    """
+
+    exception: Exception | None = None
+    retries: int = 0
+    passed_at: int = 0
+
+
+def simulate_injector_check(injector, edge) -> Exception | None:
+    """One ``FaultInjector.check`` call, returning the raise instead.
+
+    Uses the real injector (and therefore advances its per-edge attempt
+    counters exactly as a serial hop would), which is what keeps transient
+    faults (``recover_after``) deterministic across backends.
+    """
+    if injector is None:
+        return None
+    try:
+        injector.check(edge)
+    except FaultError as exc:
+        return exc
+    return None
+
+
+def plan_hop_faults(
+    injector, edge, *, attempts: int, base_name: str, path: JoinPath
+) -> FaultPlan | None:
+    """Pre-resolve the injected-fault sequence for one discovery hop.
+
+    Replays the attempt loop of ``FaultManager.execute`` against the real
+    injector, in the hop's canonical position, wrapping each injected
+    error with the same :func:`~repro.engine.engine._hop_context` suffix
+    the engine would — so recorded messages are byte-identical to serial.
+    Returns None when the edge is not faulty (the common case).
+    """
+    if injector is None or injector.fault_kind(edge) is None:
+        return None
+    last: Exception | None = None
+    for attempt in range(attempts):
+        exc = simulate_injector_check(injector, edge)
+        if exc is None:
+            return FaultPlan(passed_at=attempt)
+        last = type(exc)(f"{exc}; {_hop_context(base_name, path, edge)}")
+    return FaultPlan(exception=last, retries=attempts - 1)
+
+
+def walk_injected_faults(injector, path: JoinPath, base_name: str) -> Exception | None:
+    """Simulate one materialise attempt's injector checks along ``path``.
+
+    Serial ``materialize_path`` consults the injector per edge, in order,
+    aborting the attempt at the first raise; the wrapped message carries
+    the prefix walked so far.  Returns the wrapped error of the first
+    faulting edge, or None when the whole walk passes.
+    """
+    walked = JoinPath(path.base)
+    for edge in path.edges:
+        exc = simulate_injector_check(injector, edge)
+        if exc is not None:
+            return type(exc)(f"{exc}; {_hop_context(base_name, walked, edge)}")
+        walked = walked.extend(edge)
+    return None
+
+
+def plan_path_faults(
+    injector, path: JoinPath, *, attempts: int, base_name: str
+) -> FaultPlan | None:
+    """Pre-resolve the injected-fault sequence for one top-k training path."""
+    if injector is None or not injector.faulty_edges(path.edges):
+        return None
+    last: Exception | None = None
+    for attempt in range(attempts):
+        exc = walk_injected_faults(injector, path, base_name)
+        if exc is None:
+            return FaultPlan(passed_at=attempt)
+        last = exc
+    return FaultPlan(exception=last, retries=attempts - 1)
+
+
+def settle_managed_failure(
+    *,
+    attempts: int,
+    passed_at: int,
+    first_exc: Exception,
+    simulate,
+    rerun,
+    kinds: tuple[type[Exception], ...],
+):
+    """Continue the serial attempt loop after a dispatched unit failed.
+
+    A worker executed the unit's attempt ``passed_at`` and it raised a
+    *managed* error (``first_exc``).  Serial ``FaultManager.execute``
+    would keep attempting: each remaining attempt first consults the
+    injector (``simulate`` returns a wrapped error or None) and, on pass,
+    re-executes the real work (``rerun``).  Returns ``(result, None)``
+    when a re-attempt succeeds, or ``(None, (last_exc, retries))`` for
+    the coordinator to record.  Exceptions outside ``kinds`` raised by
+    ``rerun`` propagate, exactly as in serial (a discovery ``JoinError``
+    is pruning input, not a failure).
+    """
+    last, retries = first_exc, passed_at
+    for attempt in range(passed_at + 1, attempts):
+        exc = simulate()
+        if exc is not None:
+            last, retries = exc, attempt
+            continue
+        try:
+            return rerun(), None
+        except kinds as exc2:
+            last, retries = exc2, attempt
+    return None, (last, retries)
+
+
+# -- work units -------------------------------------------------------------
+
+
+@dataclass
+class HopTask:
+    """One discovery frontier hop: join ``edge`` onto ``table``."""
+
+    index: int
+    path: JoinPath
+    edge: OrientedEdge
+    table: Table
+    base_name: str
+    features: tuple[str, ...] = ()
+    plan: FaultPlan | None = None
+
+
+@dataclass
+class PathTask:
+    """One top-k training unit: materialise ``path`` fully and evaluate."""
+
+    index: int
+    path: JoinPath
+    selected_features: tuple[str, ...]
+    base_name: str
+    label_column: str
+    model_name: str
+    seed: int = 0
+    plan: FaultPlan | None = None
+
+
+@dataclass
+class HopOutcome:
+    """What one hop unit produced, in its canonical slot.
+
+    ``error`` carries the managed (``JoinError`` / ``FaultError``)
+    exception when the hop failed; ``dispatched`` is False for units whose
+    fault plan pre-resolved to failure (the worker never saw them, so
+    ``stats`` is None and no join work was charged — matching serial,
+    where an injected fault aborts the hop before any join executes).
+    """
+
+    index: int
+    joined: Table | None = None
+    contributed: list[str] | None = None
+    error: Exception | None = None
+    dispatched: bool = True
+    stats: object | None = None
+    spans: list[dict] = field(default_factory=list)
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class PathOutcome:
+    """What one training unit produced, in its canonical slot."""
+
+    index: int
+    table: Table | None = None
+    accuracy: float = 0.0
+    n_features_used: int = 0
+    error: Exception | None = None
+    dispatched: bool = True
+    stats: object | None = None
+    spans: list[dict] = field(default_factory=list)
+    busy_seconds: float = 0.0
+
+
+# -- worker bodies (shared by the serial, threads and processes backends) ---
+
+
+def _execute_hop(view: JoinEngine, tracer: Tracer, task: HopTask) -> HopOutcome:
+    started = time.perf_counter()
+    joined = contributed = error = None
+    try:
+        with tracer.span("hop", table=task.edge.target, key=task.edge.target_column):
+            joined, contributed = view.apply_hop(
+                task.table, task.edge, task.base_name, path=task.path
+            )
+    except (JoinError, FaultError) as exc:
+        error = exc
+    return HopOutcome(
+        index=task.index,
+        joined=joined,
+        contributed=contributed,
+        error=error,
+        stats=view.snapshot(),
+        spans=[root.as_dict() for root in tracer.roots],
+        busy_seconds=time.perf_counter() - started,
+    )
+
+
+def _execute_path(view: JoinEngine, tracer: Tracer, drg, task: PathTask) -> PathOutcome:
+    # Lazy import: repro.ml is a heavier dependency the hop path never needs.
+    from ..ml import evaluate_accuracy
+
+    started = time.perf_counter()
+    base = drg.table(task.base_name)
+    base_features = [n for n in base.column_names if n != task.label_column]
+    table = None
+    accuracy = 0.0
+    n_features = 0
+    error = None
+    try:
+        with tracer.span("path", path=task.path.describe()):
+            materialised, __ = view.materialize_path(task.path, base)
+            features = base_features + [
+                f for f in task.selected_features if f in materialised
+            ]
+            with tracer.span("evaluate", model=task.model_name, features=len(features)):
+                accuracy = evaluate_accuracy(
+                    materialised,
+                    task.label_column,
+                    model_name=task.model_name,
+                    feature_names=features,
+                    seed=task.seed,
+                )
+            table = materialised
+            n_features = len(features)
+    except (JoinError, FaultError) as exc:
+        error = exc
+    return PathOutcome(
+        index=task.index,
+        table=table,
+        accuracy=accuracy,
+        n_features_used=n_features,
+        error=error,
+        stats=view.snapshot(),
+        spans=[root.as_dict() for root in tracer.roots],
+        busy_seconds=time.perf_counter() - started,
+    )
+
+
+def _run_hop(engine: JoinEngine, task: HopTask, trace_spans: bool) -> HopOutcome:
+    """Serial/threads hop body: fresh tracer + worker view per unit."""
+    tracer = Tracer(enabled=trace_spans)
+    return _execute_hop(engine.worker_view(tracer), tracer, task)
+
+
+def _run_path(engine: JoinEngine, task: PathTask, trace_spans: bool) -> PathOutcome:
+    """Serial/threads path body: fresh tracer + worker view per unit."""
+    tracer = Tracer(enabled=trace_spans)
+    return _execute_path(engine.worker_view(tracer), tracer, engine.drg, task)
+
+
+# -- processes backend ------------------------------------------------------
+
+#: Per-worker-process engine installed by :func:`_process_init`.  Module
+#: globals are how ``ProcessPoolExecutor`` initializers hand state to
+#: worker functions; the engine (and its cache) lives for the life of the
+#: worker process, so repeated hops on one worker still reuse builds.
+_WORKER_ENGINE: JoinEngine | None = None
+_WORKER_TRACE = False
+
+
+def _process_init(drg, engine_kwargs: dict, trace_spans: bool) -> None:
+    global _WORKER_ENGINE, _WORKER_TRACE
+    _WORKER_ENGINE = JoinEngine(drg, **engine_kwargs)
+    _WORKER_TRACE = trace_spans
+
+
+def _process_hop(task: HopTask) -> HopOutcome:
+    tracer = Tracer(enabled=_WORKER_TRACE)
+    return _execute_hop(_WORKER_ENGINE.worker_view(tracer), tracer, task)
+
+
+def _process_path(task: PathTask) -> PathOutcome:
+    tracer = Tracer(enabled=_WORKER_TRACE)
+    return _execute_path(
+        _WORKER_ENGINE.worker_view(tracer), tracer, _WORKER_ENGINE.drg, task
+    )
+
+
+# -- the executor -----------------------------------------------------------
+
+
+class PathExecutor:
+    """Runs work units on a configurable backend, merging in task order.
+
+    One executor spans one logical run, exactly like
+    :class:`~repro.engine.JoinEngine`: construct it with the run's engine,
+    feed it waves of :class:`HopTask` / :class:`PathTask` lists, and close
+    it when the run ends.  Outcomes always come back in the order the
+    tasks were submitted — the canonical enumeration order — no matter
+    which worker finished first, which is the whole determinism contract.
+
+    The executor also keeps the run's utilisation accounting:
+    ``busy_seconds`` (summed worker-side unit durations) over
+    ``parallel_wall_seconds`` (summed wave walls) is the
+    :attr:`effective_speedup` the run manifest reports.
+    """
+
+    def __init__(
+        self,
+        engine: JoinEngine,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        trace_spans: bool = False,
+    ):
+        if backend not in PARALLEL_BACKENDS:
+            raise ConfigError(
+                f"unknown parallel backend {backend!r}; "
+                f"expected one of {list(PARALLEL_BACKENDS)}"
+            )
+        self.engine = engine
+        self.backend = backend
+        self.trace_spans = trace_spans
+        self.workers_used = resolve_max_workers(backend, max_workers)
+        self.busy_seconds = 0.0
+        self.parallel_wall_seconds = 0.0
+        self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+
+    @property
+    def rebase_spans(self) -> bool:
+        """True when grafted worker spans need clock rebasing.
+
+        ``perf_counter_ns`` stamps are only comparable within one process,
+        so span trees returned by process workers must be shifted into the
+        parent's clock before grafting.
+        """
+        return self.backend == "processes"
+
+    @property
+    def effective_speedup(self) -> float:
+        """Worker-busy seconds per wall second of parallel execution."""
+        if self.parallel_wall_seconds <= 0.0:
+            return 0.0
+        return self.busy_seconds / self.parallel_wall_seconds
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.backend == "threads":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers_used, thread_name_prefix="pathexec"
+                )
+            else:
+                engine = self.engine
+                engine_kwargs = {
+                    "seed": engine.seed,
+                    "enable_cache": engine.cache.enabled,
+                    "hop_timeout_seconds": engine.hop_timeout_seconds,
+                    "max_output_rows": engine.max_output_rows,
+                    "hop_latency_seconds": engine.hop_latency_seconds,
+                }
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers_used,
+                    initializer=_process_init,
+                    initargs=(engine.drg, engine_kwargs, self.trace_spans),
+                )
+        return self._pool
+
+    def run_hops(self, tasks: list[HopTask]) -> list[HopOutcome]:
+        """Execute one wave of hop units; outcomes in task order."""
+        return self._run_wave(
+            tasks,
+            _run_hop,
+            _process_hop,
+            lambda task: HopOutcome(
+                index=task.index, error=task.plan.exception, dispatched=False
+            ),
+        )
+
+    def run_paths(self, tasks: list[PathTask]) -> list[PathOutcome]:
+        """Execute one wave of training units; outcomes in task order."""
+        return self._run_wave(
+            tasks,
+            _run_path,
+            _process_path,
+            lambda task: PathOutcome(
+                index=task.index, error=task.plan.exception, dispatched=False
+            ),
+        )
+
+    def _run_wave(self, tasks, inline_fn, process_fn, synthesize):
+        started = time.perf_counter()
+        outcomes: list = [None] * len(tasks)
+        pending: list[tuple[int, object]] = []
+        for slot, task in enumerate(tasks):
+            if task.plan is not None and task.plan.exception is not None:
+                # Pre-resolved failure: the injector exhausted every
+                # attempt at plan time, so dispatching would charge join
+                # work serial never performs.  The coordinator raises or
+                # records it at this slot's canonical merge position.
+                outcomes[slot] = synthesize(task)
+            else:
+                pending.append((slot, task))
+        if self.backend == "serial":
+            for slot, task in pending:
+                outcomes[slot] = inline_fn(self.engine, task, self.trace_spans)
+        else:
+            pool = self._ensure_pool()
+            if self.backend == "threads":
+                futures = [
+                    (slot, pool.submit(inline_fn, self.engine, task, self.trace_spans))
+                    for slot, task in pending
+                ]
+            else:
+                futures = [
+                    (slot, pool.submit(process_fn, task)) for slot, task in pending
+                ]
+            # In-order collection: future.result() re-raises unexpected
+            # worker exceptions on this thread — nothing is swallowed.
+            for slot, future in futures:
+                outcomes[slot] = future.result()
+        self.parallel_wall_seconds += time.perf_counter() - started
+        self.busy_seconds += sum(
+            outcome.busy_seconds for outcome in outcomes if outcome.dispatched
+        )
+        return outcomes
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "PathExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -78,6 +78,19 @@ class ExecutionStats:
             rows_probed=self.rows_probed + other.rows_probed,
         )
 
+    @classmethod
+    def merge(cls, stats) -> "ExecutionStats":
+        """Counter-wise sum over any iterable of snapshots.
+
+        The parallel executor's per-work-unit deltas merge through here;
+        summation is order-independent, so the merged totals are identical
+        no matter which worker finished first.
+        """
+        merged = cls()
+        for snapshot in stats:
+            merged = merged.merged(snapshot)
+        return merged
+
     def publish(self, registry: MetricsRegistry, prefix: str = "engine") -> MetricsRegistry:
         """Publish the counters (and the hit-rate gauge) into ``registry``."""
         for name in _COUNTER_FIELDS:
@@ -138,3 +151,13 @@ class EngineStats:
             cache_misses=self.cache_misses,
             rows_probed=self.rows_probed,
         )
+
+    def absorb(self, delta: "ExecutionStats | EngineStats") -> None:
+        """Add another stats record's counters into this one in place.
+
+        The merge point of parallel runs: each work unit counts into its
+        own fresh :class:`EngineStats` (no cross-worker races) and the
+        coordinating thread absorbs the deltas in canonical unit order.
+        """
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(delta, name))

@@ -116,12 +116,24 @@ def _validate_span_tree(node: dict, path: str) -> list[str]:
     if errors:
         return errors
     child_total = 0
+    child_max = 0
     for i, child in enumerate(node["children"]):
         errors.extend(_validate_span_tree(child, f"{path}.children[{i}]"))
-        child_total += child.get("duration_ns", 0) if isinstance(child, dict) else 0
-    # Children must fit inside their parent (1ms slack absorbs clock
-    # granularity; synthetic roots are exact sums of their children).
-    if child_total > node["duration_ns"] + 1_000_000:
+        duration = child.get("duration_ns", 0) if isinstance(child, dict) else 0
+        child_total += duration
+        child_max = max(child_max, duration)
+    if node["attrs"].get("parallel"):
+        # A parallel span's children ran concurrently (worker subtrees
+        # grafted under a wave), so their durations legitimately sum past
+        # the parent's wall time; each child must still fit individually.
+        if child_max > node["duration_ns"] + 1_000_000:
+            errors.append(
+                f"{path}: child span of {child_max}ns exceeds the parallel "
+                f"parent's {node['duration_ns']}ns"
+            )
+    elif child_total > node["duration_ns"] + 1_000_000:
+        # Sequential children must fit inside their parent (1ms slack
+        # absorbs clock granularity; synthetic roots are exact sums).
         errors.append(
             f"{path}: children sum to {child_total}ns, exceeding the "
             f"parent's {node['duration_ns']}ns"

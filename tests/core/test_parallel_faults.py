@@ -1,0 +1,200 @@
+"""Stress: parallel discovery under heavy fault injection, every policy.
+
+Runs the diamond lake of ``test_fault_isolation`` through ``discover``
+with 30% injected failure rates across all three ``FailurePolicy`` modes
+and both worker-pool backends, asserting the degradation contract:
+
+* failure reports (kinds, messages, edges, retry counts) are identical to
+  serial for every (policy, backend, seed) combination;
+* the shared error budget trips **exactly once**, at the same canonical
+  failure as serial — not once per worker;
+* same-seed runs are bit-reproducible;
+* unexpected worker exceptions (outside the managed ``JoinError`` /
+  ``FaultError`` family) are never swallowed by the pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoFeat, AutoFeatConfig
+from repro.dataframe import Table
+from repro.engine import FaultInjector, JoinEngine
+from repro.errors import ErrorBudgetExceeded, FaultError
+from repro.graph import DatasetRelationGraph, KFKConstraint
+
+PARALLEL = ("threads", "processes")
+POLICIES = ("fail_fast", "skip_and_record", "retry")
+
+
+def diamond_lake(n=400, seed=3):
+    rng = np.random.default_rng(seed)
+    ids = np.arange(n)
+    a_key = rng.permutation(n) + 1_000
+    b_key = rng.permutation(n) + 5_000
+    shared = rng.permutation(n) + 9_000
+    signal = rng.normal(0, 1, n)
+    label = ((signal + rng.normal(0, 0.3, n)) > 0).astype(int)
+    base = Table(
+        {
+            "id": ids,
+            "a_key": a_key,
+            "b_key": b_key,
+            "weak": rng.normal(0, 1, n),
+            "label": label,
+        },
+        name="base",
+    )
+    a = Table(
+        {"a_key": a_key, "shared_key": shared, "a_noise": rng.normal(0, 1, n)},
+        name="a",
+    )
+    b = Table(
+        {"b_key": b_key, "shared_key": shared, "b_noise": rng.normal(0, 1, n)},
+        name="b",
+    )
+    c = Table({"shared_key": shared, "signal": signal}, name="c")
+    return DatasetRelationGraph.from_constraints(
+        [base, a, b, c],
+        [
+            KFKConstraint("base", "a_key", "a", "a_key"),
+            KFKConstraint("base", "b_key", "b", "b_key"),
+            KFKConstraint("a", "shared_key", "c", "shared_key"),
+            KFKConstraint("b", "shared_key", "c", "shared_key"),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def drg():
+    return diamond_lake()
+
+
+def run_discovery(drg, backend, policy, *, fault_seed=0, injector_kwargs=None,
+                  **overrides):
+    """One discovery run; returns ('ok', fingerprint) or ('raised', ...)."""
+    kwargs = {"failure_probability": 0.3, "timeout_probability": 0.15,
+              "seed": fault_seed}
+    kwargs.update(injector_kwargs or {})
+    config = AutoFeatConfig(
+        sample_size=200,
+        seed=1,
+        parallel_backend=backend,
+        max_workers=2,
+        failure_policy=policy,
+        max_retries=2,
+        **overrides,
+    )
+    autofeat = AutoFeat(drg, config, fault_injector=FaultInjector(**kwargs))
+    try:
+        discovery = autofeat.discover("base", "label")
+    except FaultError as exc:
+        return ("raised", type(exc).__name__, str(exc))
+    return (
+        "ok",
+        [
+            (f.stage, f.error_kind, f.message, f.base_table, f.path, f.edge, f.retries)
+            for f in discovery.failure_report.records
+        ],
+        [(r.path.describe(), r.score, r.selected_features)
+         for r in discovery.ranked_paths],
+    )
+
+
+@pytest.mark.parametrize("backend", PARALLEL)
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("fault_seed", (0, 1, 2))
+def test_30pct_fault_stress_matches_serial(drg, backend, policy, fault_seed):
+    serial = run_discovery(drg, "serial", policy, fault_seed=fault_seed)
+    parallel = run_discovery(drg, backend, policy, fault_seed=fault_seed)
+    assert parallel == serial
+
+
+@pytest.mark.parametrize("backend", PARALLEL)
+@pytest.mark.parametrize("policy", ("skip_and_record", "retry"))
+def test_error_budget_trips_exactly_once(drg, backend, policy):
+    # Budget 0: the first recorded failure aborts the run.  Serial and
+    # parallel must raise the *same* ErrorBudgetExceeded — same message,
+    # same failure count, same last edge — which proves the budget is
+    # shared at the merge point and tripped once, not once per worker.
+    serial = run_discovery(drg, "serial", policy, error_budget=0)
+    parallel = run_discovery(drg, backend, policy, error_budget=0)
+    assert serial[0] == "raised"
+    assert serial[1] == "ErrorBudgetExceeded"
+    assert "1 failures exceed the budget of 0" in serial[2]
+    assert parallel == serial
+
+
+@pytest.mark.parametrize("backend", PARALLEL)
+def test_budget_trip_is_typed_and_catchable(drg, backend):
+    config = AutoFeatConfig(
+        sample_size=200, seed=1, parallel_backend=backend, max_workers=2,
+        failure_policy="skip_and_record", error_budget=0,
+    )
+    autofeat = AutoFeat(
+        drg, config, fault_injector=FaultInjector(failure_probability=0.3, seed=0)
+    )
+    with pytest.raises(ErrorBudgetExceeded):
+        autofeat.discover("base", "label")
+
+
+@pytest.mark.parametrize("backend", PARALLEL)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_same_seed_runs_are_reproducible(drg, backend, policy):
+    first = run_discovery(drg, backend, policy, fault_seed=0)
+    second = run_discovery(drg, backend, policy, fault_seed=0)
+    assert first == second
+
+
+@pytest.mark.parametrize("backend", PARALLEL)
+def test_retry_with_transient_faults_recovers_cleanly(drg, backend):
+    # recover_after=1: every injected fault clears on its first retry, so
+    # the retry policy ends with an empty report and the full ranked set.
+    clean = run_discovery(drg, "serial", "skip_and_record",
+                          injector_kwargs={"failure_probability": 0.0,
+                                           "timeout_probability": 0.0})
+    recovered = run_discovery(drg, backend, "retry",
+                              injector_kwargs={"recover_after": 1})
+    assert recovered[0] == "ok"
+    assert recovered[1] == []  # nothing recorded: all faults retried away
+    assert recovered[2] == clean[2]
+
+
+@pytest.mark.parametrize("backend", PARALLEL)
+def test_unexpected_worker_exception_is_not_swallowed(drg, backend, monkeypatch):
+    # A bug in the join kernel (anything outside JoinError/FaultError) must
+    # re-raise on the coordinating thread, never turn into a skipped path.
+    original = JoinEngine.apply_hop
+
+    def exploding(self, current, edge, base_name, path=None):
+        if edge.target == "c":
+            raise RuntimeError("worker bug: corrupted index")
+        return original(self, current, edge, base_name, path=path)
+
+    monkeypatch.setattr(JoinEngine, "apply_hop", exploding)
+    config = AutoFeatConfig(
+        sample_size=200, seed=1, parallel_backend=backend, max_workers=2,
+        failure_policy="skip_and_record",
+    )
+    with pytest.raises(RuntimeError, match="worker bug"):
+        AutoFeat(drg, config).discover("base", "label")
+
+
+@pytest.mark.parametrize("backend", PARALLEL)
+def test_training_phase_fault_parity(drg, backend):
+    def run(chosen_backend):
+        config = AutoFeatConfig(
+            sample_size=200, seed=1, parallel_backend=chosen_backend,
+            max_workers=2, failure_policy="skip_and_record", top_k=3,
+        )
+        autofeat = AutoFeat(
+            drg, config,
+            fault_injector=FaultInjector(failure_probability=0.3, seed=0),
+        )
+        result = autofeat.augment("base", "label", model_name="random_forest")
+        return (
+            [(t.ranked.path.describe(), t.accuracy) for t in result.trained],
+            [(f.stage, f.error_kind, f.message, f.path, f.retries)
+             for f in result.failure_report.records],
+        )
+
+    assert run(backend) == run("serial")
