@@ -1,4 +1,4 @@
-.PHONY: check test test-faults test-parallel trace-smoke bench-engine bench-selection bench-parallel
+.PHONY: check test test-faults test-parallel test-service trace-smoke bench-engine bench-selection bench-parallel bench-service
 
 # Fault-isolation fast gate + tier-1 tests + engine-cache and
 # selection-kernel micro-benches (smoke mode).
@@ -20,6 +20,16 @@ test-parallel:
 		tests/core/test_parallel_faults.py tests/obs/test_parallel_manifest.py
 	PYTHONPATH=src python benchmarks/bench_parallel_discovery.py --smoke
 
+# Fast gate: the always-on service suites (request queue, warm result
+# cache, incremental DRG maintenance, surgical invalidation, the
+# mutation-equivalence property suite) plus the service micro-bench in
+# smoke mode (warm >=5x cold, warm/cold parity).
+test-service:
+	PYTHONPATH=src python -m pytest -q tests/service \
+		tests/graph/test_drg_delta.py tests/discovery/test_incremental.py \
+		tests/engine/test_hop_cache.py
+	PYTHONPATH=src python benchmarks/bench_service.py --smoke
+
 # Observability smoke: traced diamond-lake run, manifest schema validation,
 # chrome-trace export, obs CLI, and the <2% no-op tracer overhead gate.
 trace-smoke:
@@ -38,3 +48,9 @@ bench-selection:
 # workers; parity- and speedup-gated); writes BENCH_parallel_discovery.json.
 bench-parallel:
 	PYTHONPATH=src python benchmarks/bench_parallel_discovery.py
+
+# Full service benchmark (warm requests vs cold single-shot, incremental
+# mutation vs cold rebuild; parity- and speedup-gated); writes
+# BENCH_service.json.
+bench-service:
+	PYTHONPATH=src python benchmarks/bench_service.py

@@ -23,6 +23,15 @@ python -m pytest -q tests/engine/test_parallel_parity.py \
 python benchmarks/bench_parallel_discovery.py --smoke
 
 echo
+echo "== service fast gate =="
+# Service suites cover the request queue, warm result cache, incremental
+# DRG maintenance and surgical invalidation; the smoke bench gates on
+# warm/cold parity and the >=5x warm-request speedup.
+python -m pytest -q tests/service tests/graph/test_drg_delta.py \
+    tests/discovery/test_incremental.py tests/engine/test_hop_cache.py
+python benchmarks/bench_service.py --smoke
+
+echo
 echo "== observability fast gate =="
 python -m pytest -q tests/obs
 python scripts/trace_smoke.py

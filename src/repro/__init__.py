@@ -50,9 +50,11 @@ from .errors import (
     ReproError,
     SchemaError,
     SelectionError,
+    ServiceError,
 )
-from .graph import DatasetRelationGraph, JoinPath, KFKConstraint
+from .graph import DatasetRelationGraph, DrgDelta, JoinPath, KFKConstraint
 from .obs import MetricsRegistry, RunManifest, Span, Tracer
+from .service import DiscoveryService, ServiceResponse
 
 __version__ = "1.0.0"
 
@@ -80,8 +82,11 @@ __all__ = [
     "MetricsRegistry",
     "RunManifest",
     "DatasetRelationGraph",
+    "DrgDelta",
     "KFKConstraint",
     "JoinPath",
+    "DiscoveryService",
+    "ServiceResponse",
     "ReproError",
     "SchemaError",
     "JoinError",
@@ -95,5 +100,6 @@ __all__ = [
     "DiscoveryError",
     "ConfigError",
     "DatasetError",
+    "ServiceError",
     "__version__",
 ]

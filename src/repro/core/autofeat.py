@@ -69,10 +69,20 @@ class AutoFeat:
         drg: DatasetRelationGraph,
         config: AutoFeatConfig | None = None,
         fault_injector: FaultInjector | None = None,
+        hop_cache=None,
     ):
         self.drg = drg
         self.config = config or AutoFeatConfig()
         self.fault_injector = fault_injector
+        #: Optional service-owned :class:`repro.engine.HopCache` shared
+        #: across many runs.  When set, every engine this pipeline
+        #: creates reuses it instead of building a fresh per-run cache —
+        #: the warm-state lever of :class:`repro.service.DiscoveryService`.
+        #: Results are bit-identical either way (a cached JoinIndex is
+        #: deterministic in its ``(table, key, seed)`` key and the owner
+        #: invalidates per-table on mutation); only per-run cache
+        #: hit/miss counters reflect the pre-warmed state.
+        self.hop_cache = hop_cache
 
     def _engine(
         self, tracer: Tracer | None = None, install_injector: bool = True
@@ -94,6 +104,7 @@ class AutoFeat:
             fault_injector=self.fault_injector if install_injector else None,
             tracer=tracer,
             hop_latency_seconds=config.hop_latency_seconds,
+            cache=self.hop_cache,
         )
 
     def _tracer(self) -> Tracer:

@@ -7,6 +7,7 @@ data-lake setting, where joinability edges come from a schema matcher
 
 from .coma import ColumnMatch, ComaMatcher
 from .distribution import DistributionMatcher, QuantileSketch, quantile_similarity
+from .incremental import IncrementalMatchIndex, MatchCounters, MutationReport
 from .lsh import LazoMatcher, estimate_containment
 from .name_similarity import (
     jaro_winkler_similarity,
@@ -42,6 +43,9 @@ __all__ = [
     "instance_similarity",
     "ColumnMatch",
     "ComaMatcher",
+    "IncrementalMatchIndex",
+    "MatchCounters",
+    "MutationReport",
     "LazoMatcher",
     "estimate_containment",
     "DistributionMatcher",

@@ -1,0 +1,343 @@
+"""Incremental schema matching: re-match only what a mutation touched.
+
+Cold DRG construction (:meth:`repro.graph.DatasetRelationGraph
+.from_discovery`) profiles every table and scores every unordered table
+pair — O(n²) matcher calls — on every invocation.  A long-lived service
+cannot afford that per mutation: registering one table into a 1000-table
+lake only ever changes the pairs *that table participates in*.
+
+:class:`IncrementalMatchIndex` is the standing index behind the
+:class:`repro.service.DiscoveryService`: it keeps, per table, the
+:class:`~repro.discovery.profiles.TableProfile` and, per unordered pair,
+the matcher's scored output.  A mutation —
+
+* :meth:`register_table` — profiles the new table once and matches it
+  against the stored profiles of every existing table (n-1 pairs);
+* :meth:`update_table` — re-profiles the one table and re-matches its
+  n-1 pairs, reusing every other profile;
+* :meth:`drop_table` — pure bookkeeping, zero matcher calls
+
+— then emits a :class:`~repro.graph.DrgDelta` so the DRG is rebuilt by
+*replaying* stored matches (cheap adjacency work) rather than re-running
+the matcher.  The resulting graph is bit-identical to a cold
+``from_discovery`` over the same table sequence; the property suite in
+``tests/service/test_incremental_equivalence.py`` drives that contract
+over random mutation sequences for both the COMA and Lazo matchers.
+
+Any matcher exposing ``match_profiles(profiles_a, profiles_b)`` — either
+returning :class:`~repro.discovery.ColumnMatch` objects
+(:class:`~repro.discovery.ComaMatcher`) or plain ``(col_a, col_b,
+score)`` tuples (:class:`~repro.discovery.LazoMatcher`) — plugs in;
+matchers without profile support fall back to being called on the raw
+tables, still scoped to the affected pairs only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..dataframe import Table
+from ..errors import DiscoveryError
+from ..graph import DatasetRelationGraph, DrgDelta
+from .coma import ComaMatcher
+from .profiles import TableProfile, profile_table
+
+__all__ = ["MatchCounters", "MutationReport", "IncrementalMatchIndex"]
+
+#: One scored correspondence, matcher-agnostic.
+PairMatches = tuple[tuple[str, str, float], ...]
+
+
+@dataclass
+class MatchCounters:
+    """Cumulative work accounting of one index's lifetime.
+
+    ``pairs_reused`` counts pairs whose stored matches were replayed
+    instead of re-scored during mutations — the work the incremental
+    path saves over a cold rebuild (which would re-match them all).
+    """
+
+    profiles_built: int = 0
+    pairs_matched: int = 0
+    pairs_reused: int = 0
+    mutations: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "profiles_built": self.profiles_built,
+            "pairs_matched": self.pairs_matched,
+            "pairs_reused": self.pairs_reused,
+            "mutations": self.mutations,
+        }
+
+
+@dataclass(frozen=True)
+class MutationReport:
+    """What one register/update/drop actually touched.
+
+    ``affected_tables`` is the surgical-invalidation input consumed by the
+    service layer: the mutated table plus the *other* endpoint of every
+    pair whose thresholded edge set changed.  Pairs that were re-matched
+    but produced identical edges do not put their partner here — a cached
+    result that only ever saw the partner stays valid.
+    """
+
+    kind: str
+    table: str
+    version: int
+    changed_pairs: tuple[tuple[str, str], ...] = ()
+    affected_tables: frozenset[str] = frozenset()
+    n_pairs_rematched: int = 0
+    n_pairs_reused: int = 0
+    #: Whether the mutated table's *contents* changed (update/drop) —
+    #: only then do that table's cached join indexes go stale.
+    content_changed: bool = True
+
+
+class IncrementalMatchIndex:
+    """Standing profile + pair-match index over a mutable lake.
+
+    Parameters
+    ----------
+    tables:
+        The initial lake, in canonical order (order is part of the
+        determinism contract: traversal and ranking follow adjacency
+        insertion order, which follows table order).
+    matcher:
+        Any DRG ``Matcher``; profile-aware matchers (``match_profiles``)
+        get the incremental fast path.  Defaults to :class:`ComaMatcher`.
+    threshold:
+        Minimum score for a stored match to become a DRG edge — the same
+        knob as :meth:`DatasetRelationGraph.from_discovery`.
+    """
+
+    def __init__(
+        self,
+        tables=(),
+        matcher=None,
+        threshold: float = 0.55,
+    ):
+        if not 0.0 < threshold <= 1.0:
+            raise DiscoveryError(
+                f"threshold must be in (0, 1], got {threshold}"
+            )
+        self.matcher = matcher if matcher is not None else ComaMatcher()
+        self.threshold = threshold
+        self.counters = MatchCounters()
+        self._tables: dict[str, Table] = {}
+        self._profiles: dict[str, TableProfile] = {}
+        self._matches: dict[tuple[str, str], PairMatches] = {}
+        self._version = 0
+        for table in tables:
+            self._ingest(table)
+        self._drg = self._build_full()
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def drg(self) -> DatasetRelationGraph:
+        """The current DRG snapshot (replaced, never mutated, per change)."""
+        return self._drg
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (0 = the initial build)."""
+        return self._version
+
+    @property
+    def tables(self) -> list[Table]:
+        """Current tables in canonical order."""
+        return list(self._tables.values())
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables.keys())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # -- matching internals --------------------------------------------------
+
+    def _ingest(self, table: Table) -> None:
+        """Profile ``table`` and match it against every stored table."""
+        if not table.name:
+            raise DiscoveryError("every lake table needs a non-empty name")
+        if table.name in self._tables:
+            raise DiscoveryError(f"duplicate table name {table.name!r}")
+        self._profiles[table.name] = self._profile(table)
+        for existing in self._tables:
+            self._matches[(existing, table.name)] = self._match_pair(
+                existing, table.name, right_table=table
+            )
+        self._tables[table.name] = table
+
+    def _profile(self, table: Table) -> TableProfile | None:
+        if not hasattr(self.matcher, "match_profiles"):
+            return None
+        self.counters.profiles_built += 1
+        return profile_table(table)
+
+    def _match_pair(
+        self, name_a: str, name_b: str, right_table: Table | None = None
+    ) -> PairMatches:
+        """Run the matcher over one pair, normalising its output."""
+        self.counters.pairs_matched += 1
+        if hasattr(self.matcher, "match_profiles"):
+            raw = self.matcher.match_profiles(
+                self._profiles[name_a], self._profiles[name_b]
+            )
+        else:
+            table_b = (
+                right_table if right_table is not None else self._tables[name_b]
+            )
+            raw = self.matcher(self._tables[name_a], table_b)
+        out = []
+        for match in raw:
+            column_a = getattr(match, "column_a", None)
+            if column_a is not None:
+                out.append((match.column_a, match.column_b, float(match.score)))
+            else:
+                ca, cb, score = match
+                out.append((ca, cb, float(score)))
+        return tuple(out)
+
+    def _edges_for(self, pair: tuple[str, str]) -> PairMatches:
+        """The pair's stored matches at or above the edge threshold."""
+        return tuple(
+            m for m in self._matches.get(pair, ()) if m[2] >= self.threshold
+        )
+
+    def _pairs_of(self, name: str) -> list[tuple[str, str]]:
+        """Every stored unordered pair involving ``name``, in order."""
+        return [pair for pair in self._matches if name in pair]
+
+    def _build_full(self) -> DatasetRelationGraph:
+        """Replay every stored pair into a fresh DRG (initial build)."""
+        drg = DatasetRelationGraph(self.tables)
+        for name_a, name_b in combinations(self._tables, 2):
+            for column_a, column_b, score in self._edges_for((name_a, name_b)):
+                drg.add_relationship(
+                    name_a, column_a, name_b, column_b, weight=score
+                )
+        return drg
+
+    def rebuild(self) -> DatasetRelationGraph:
+        """Cold full rebuild from scratch — the equivalence oracle.
+
+        Re-profiles and re-matches everything with a *stateless* pass,
+        exactly like :meth:`DatasetRelationGraph.from_discovery` over the
+        current table sequence.  Used by tests and the benchmark parity
+        gate; the service never calls this.
+        """
+        return DatasetRelationGraph.from_discovery(
+            self.tables, self.matcher, threshold=self.threshold
+        )
+
+    # -- mutations -----------------------------------------------------------
+
+    def _finish(
+        self,
+        kind: str,
+        name: str,
+        old_edges: dict[tuple[str, str], PairMatches],
+        pair_edges: dict[tuple[str, str], PairMatches],
+        delta: DrgDelta,
+        content_changed: bool,
+        n_rematched: int,
+    ) -> MutationReport:
+        changed = tuple(
+            pair
+            for pair in sorted(set(old_edges) | set(pair_edges))
+            if old_edges.get(pair, ()) != pair_edges.get(pair, ())
+        )
+        affected = {name}
+        for pair in changed:
+            affected.update(pair)
+        self._drg = self._drg.apply_delta(delta)
+        self._version += 1
+        self.counters.mutations += 1
+        n_total_pairs = max(len(self._tables) * (len(self._tables) - 1) // 2, 0)
+        reused = max(n_total_pairs - n_rematched, 0)
+        self.counters.pairs_reused += reused
+        return MutationReport(
+            kind=kind,
+            table=name,
+            version=self._version,
+            changed_pairs=changed,
+            affected_tables=frozenset(affected),
+            n_pairs_rematched=n_rematched,
+            n_pairs_reused=reused,
+            content_changed=content_changed,
+        )
+
+    def register_table(self, table: Table) -> MutationReport:
+        """Add a new table: one profile, n-1 pair matches, nothing else."""
+        if table.name in self._tables:
+            raise DiscoveryError(
+                f"table {table.name!r} already registered; "
+                f"use update_table to replace it"
+            )
+        existing = list(self._tables)
+        self._ingest(table)
+        pair_edges = {
+            (name, table.name): self._edges_for((name, table.name))
+            for name in existing
+        }
+        delta = DrgDelta(added=(table,), pair_edges=pair_edges)
+        return self._finish(
+            "register",
+            table.name,
+            old_edges={},
+            pair_edges=pair_edges,
+            delta=delta,
+            content_changed=False,
+            n_rematched=len(existing),
+        )
+
+    def update_table(self, table: Table) -> MutationReport:
+        """Replace a table in place: re-profile it, re-match its pairs."""
+        if table.name not in self._tables:
+            raise DiscoveryError(
+                f"unknown table {table.name!r}; "
+                f"use register_table to add it"
+            )
+        name = table.name
+        pairs = self._pairs_of(name)
+        old_edges = {pair: self._edges_for(pair) for pair in pairs}
+        self._profiles[name] = self._profile(table)
+        self._tables[name] = table
+        for pair in pairs:
+            self._matches[pair] = self._match_pair(*pair)
+        pair_edges = {pair: self._edges_for(pair) for pair in pairs}
+        delta = DrgDelta(updated=(table,), pair_edges=pair_edges)
+        return self._finish(
+            "update",
+            name,
+            old_edges=old_edges,
+            pair_edges=pair_edges,
+            delta=delta,
+            content_changed=True,
+            n_rematched=len(pairs),
+        )
+
+    def drop_table(self, name: str) -> MutationReport:
+        """Remove a table: pure bookkeeping, zero matcher calls."""
+        if name not in self._tables:
+            raise DiscoveryError(f"unknown table {name!r}; nothing to drop")
+        pairs = self._pairs_of(name)
+        old_edges = {pair: self._edges_for(pair) for pair in pairs}
+        del self._tables[name]
+        del self._profiles[name]
+        for pair in pairs:
+            del self._matches[pair]
+        delta = DrgDelta(dropped=(name,))
+        return self._finish(
+            "drop",
+            name,
+            old_edges=old_edges,
+            pair_edges={},
+            delta=delta,
+            content_changed=True,
+            n_rematched=0,
+        )

@@ -114,9 +114,17 @@ class LazoMatcher:
         jaccard = float(np.mean(a.minhash == b.minhash))
         return estimate_containment(jaccard, a.n_distinct, b.n_distinct)
 
-    def match(self, table_a: Table, table_b: Table):
-        """All candidate pairs with their containment scores, sorted."""
-        pairs = self.candidates(self._profiles(table_a), self._profiles(table_b))
+    def match_profiles(
+        self, profiles_a: TableProfile, profiles_b: TableProfile
+    ) -> list[tuple[str, str, float]]:
+        """Candidate pairs of two pre-profiled tables, scored and sorted.
+
+        The profile-level entry point the incremental re-matcher
+        (:mod:`repro.discovery.incremental`) drives, so a mutated table
+        is re-profiled once and matched against stored profiles instead
+        of re-reading every partner table.
+        """
+        pairs = self.candidates(profiles_a, profiles_b)
         scored = []
         for col_a, col_b in pairs:
             score = self.score(col_a, col_b)
@@ -124,6 +132,10 @@ class LazoMatcher:
                 scored.append((col_a.column_name, col_b.column_name, round(score, 6)))
         scored.sort(key=lambda t: (-t[2], t[0], t[1]))
         return scored
+
+    def match(self, table_a: Table, table_b: Table):
+        """All candidate pairs with their containment scores, sorted."""
+        return self.match_profiles(self._profiles(table_a), self._profiles(table_b))
 
     def __call__(self, table_a: Table, table_b: Table):
         """DRG ``Matcher`` protocol adapter."""

@@ -52,6 +52,24 @@ class HopCache:
         self._lock = threading.Lock()
         #: Per-key build latches: present while exactly one caller builds.
         self._building: dict[tuple[str, str, int], threading.Event] = {}
+        #: Per-table invalidation epochs: a builder that started before an
+        #: :meth:`invalidate` of its table publishes nothing (its caller
+        #: still gets the index it built — that request began against the
+        #: pre-mutation snapshot — but the stale index never enters the
+        #: cache).
+        self._epochs: dict[str, int] = {}
+        #: Cumulative cache-lifetime counters (exact under concurrency:
+        #: every update happens under ``_lock``).  Distinct from the
+        #: per-run :class:`EngineStats` callers pass in — these span the
+        #: cache's whole life, which is what a long-lived service's
+        #: warm-hit-rate gauge reports.
+        self._counters = {
+            "hits": 0,
+            "misses": 0,
+            "builds": 0,
+            "invalidations": 0,
+            "entries_invalidated": 0,
+        }
 
     def __len__(self) -> int:
         return len(self._indexes)
@@ -59,10 +77,47 @@ class HopCache:
     def __contains__(self, key: tuple[str, str, int]) -> bool:
         return key in self._indexes
 
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the cache-lifetime counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hits over lookups (0.0 before any lookup)."""
+        with self._lock:
+            lookups = self._counters["hits"] + self._counters["misses"]
+            return self._counters["hits"] / lookups if lookups else 0.0
+
     def clear(self) -> None:
         """Drop every cached index (e.g. between unrelated discovery runs)."""
         with self._lock:
+            for table_name in {key[0] for key in self._indexes}:
+                self._epochs[table_name] = self._epochs.get(table_name, 0) + 1
             self._indexes.clear()
+
+    def invalidate(self, table_name: str) -> int:
+        """Surgically drop every entry built from ``table_name``.
+
+        The per-table mutation hook of the always-on service: an
+        ``update_table``/``drop_table`` only stales the indexes built
+        *from that table's rows* — entries for every other table (any
+        key column, any seed) stay warm.  Returns the number of entries
+        dropped.
+
+        Safe under concurrency: the table's epoch is bumped under the
+        lock, so a builder elected *before* the invalidation completes
+        its build but never publishes — waiters retry and rebuild
+        against whatever the caller's builder closure now reads.
+        """
+        with self._lock:
+            doomed = [key for key in self._indexes if key[0] == table_name]
+            for key in doomed:
+                del self._indexes[key]
+            self._epochs[table_name] = self._epochs.get(table_name, 0) + 1
+            self._counters["invalidations"] += 1
+            self._counters["entries_invalidated"] += len(doomed)
+        return len(doomed)
 
     def get_or_build(
         self,
@@ -91,6 +146,8 @@ class HopCache:
         if not self.enabled:
             if stats is not None:
                 stats.index_builds += 1
+            with self._lock:
+                self._counters["builds"] += 1
             return builder()
         key = (table_name, key_column, seed)
         while True:
@@ -99,6 +156,7 @@ class HopCache:
                 if cached is not None:
                     if stats is not None:
                         stats.cache_hits += 1
+                    self._counters["hits"] += 1
                     return cached
                 event = self._building.get(key)
                 if event is None:
@@ -109,6 +167,9 @@ class HopCache:
                     if stats is not None:
                         stats.cache_misses += 1
                         stats.index_builds += 1
+                    self._counters["misses"] += 1
+                    self._counters["builds"] += 1
+                    epoch = self._epochs.get(table_name, 0)
                     break
             event.wait()
         try:
@@ -119,7 +180,10 @@ class HopCache:
             event.set()
             raise
         with self._lock:
-            self._indexes[key] = index
+            # Publish only if the table was not invalidated mid-build;
+            # the caller still gets the index it built either way.
+            if self._epochs.get(table_name, 0) == epoch:
+                self._indexes[key] = index
             self._building.pop(key, None)
         event.set()
         return index

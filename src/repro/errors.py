@@ -83,3 +83,7 @@ class ConfigError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset/lake generator was given invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """The always-on discovery service was misused or is shut down."""

@@ -1,6 +1,6 @@
 """Dataset Relation Graph: multigraph storage and join-path enumeration."""
 
-from .drg import DatasetRelationGraph, KFKConstraint
+from .drg import DatasetRelationGraph, DrgDelta, KFKConstraint
 from .multigraph import Edge, MultiGraph, OrientedEdge
 from .paths import (
     JoinPath,
@@ -16,6 +16,7 @@ __all__ = [
     "Edge",
     "OrientedEdge",
     "DatasetRelationGraph",
+    "DrgDelta",
     "KFKConstraint",
     "JoinPath",
     "enumerate_paths",

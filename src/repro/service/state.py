@@ -1,0 +1,84 @@
+"""Shared immutable state of the always-on discovery service.
+
+The service never mutates a DRG in place: every lake mutation produces a
+fresh :class:`LakeSnapshot` (via :meth:`repro.graph.DatasetRelationGraph
+.apply_delta`), while requests already executing keep the snapshot they
+started with — the same share-immutable-state discipline the parallel
+backends use within one run (DESIGN.md §11), lifted to the request level.
+
+:func:`reachable_within` and :class:`CachedEntry` implement the surgical
+result-cache invalidation rule.  A discovery traversal from ``base``
+under hop budget ``L`` only ever observes tables within ``L`` hops of
+``base``; a mutation can therefore only change its outcome if one of the
+mutation's *affected tables* (the mutated table plus the far endpoint of
+every pair whose edges changed) lies inside that radius — in the
+pre-mutation graph (a path the old result used might die) or in the
+post-mutation graph (a new path might open).  Entries failing both
+intersection tests are provably still bit-identical to a cold rebuild
+and stay served warm; the property suite in
+``tests/service/test_incremental_equivalence.py`` checks exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.result import AugmentationResult, DiscoveryResult
+from ..graph import DatasetRelationGraph
+
+__all__ = ["LakeSnapshot", "CachedEntry", "reachable_within"]
+
+
+def reachable_within(
+    drg: DatasetRelationGraph, base: str, max_hops: int
+) -> frozenset[str]:
+    """Tables within ``max_hops`` edges of ``base`` (``base`` included).
+
+    The discovery BFS enumerates paths of at most ``max_path_length``
+    edges, so this is a superset of every table any ranked path — or any
+    pruned attempt — can touch.
+    """
+    if base not in drg.graph:
+        return frozenset()
+    seen = {base}
+    frontier = [base]
+    for _ in range(max_hops):
+        grown: list[str] = []
+        for node in frontier:
+            for neighbor in drg.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    grown.append(neighbor)
+        if not grown:
+            break
+        frontier = grown
+    return frozenset(seen)
+
+
+@dataclass(frozen=True)
+class LakeSnapshot:
+    """One immutable version of the lake: the DRG plus its version stamp."""
+
+    version: int
+    drg: DatasetRelationGraph
+
+    @property
+    def n_tables(self) -> int:
+        return self.drg.n_tables
+
+
+@dataclass(frozen=True)
+class CachedEntry:
+    """A warm discovery/augmentation result plus its validity envelope.
+
+    ``reachable`` is the table set the producing traversal could observe
+    (computed on the snapshot it ran against); an entry survives a
+    mutation iff no affected table intersects that envelope in either
+    the old or the new graph.
+    """
+
+    result: DiscoveryResult | AugmentationResult
+    base: str
+    max_path_length: int
+    reachable: frozenset[str]
+    version: int

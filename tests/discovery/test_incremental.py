@@ -1,0 +1,185 @@
+"""Unit tests for the incremental match index.
+
+Covers the scoped-rematch accounting (only affected pairs hit the
+matcher), equivalence of the incremental DRG against a cold
+``from_discovery`` build, and the MutationReport surface the service
+layer's surgical invalidation consumes.
+"""
+
+import pytest
+
+from repro.dataframe import Table
+from repro.discovery import (
+    ComaMatcher,
+    IncrementalMatchIndex,
+    LazoMatcher,
+)
+from repro.errors import DiscoveryError
+from repro.graph import DatasetRelationGraph
+
+MATCHERS = [ComaMatcher, LazoMatcher]
+
+
+def _table(name, ids, feature=7):
+    return Table(
+        {"record_id": list(ids), f"{name}_val": [feature] * len(ids)},
+        name=name,
+    )
+
+
+@pytest.fixture
+def tables():
+    return [
+        _table("alpha", [1, 2, 3, 4]),
+        _table("beta", [1, 2, 3, 9]),
+        _table("gamma", [2, 3, 4, 5]),
+    ]
+
+
+class CountingMatcher:
+    """Tuple-protocol matcher without profiles; counts pair calls."""
+
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, t1, t2):
+        self.calls.append((t1.name, t2.name))
+        yield "record_id", "record_id", 0.9
+
+
+@pytest.mark.parametrize("matcher_cls", MATCHERS)
+class TestEquivalence:
+    def test_initial_build_matches_cold(self, tables, matcher_cls):
+        index = IncrementalMatchIndex(tables, matcher=matcher_cls())
+        assert index.drg.edge_fingerprint() == index.rebuild().edge_fingerprint()
+        assert index.version == 0
+
+    def test_register_matches_cold(self, tables, matcher_cls):
+        index = IncrementalMatchIndex(tables, matcher=matcher_cls())
+        index.register_table(_table("delta", [3, 4, 5]))
+        assert index.drg.edge_fingerprint() == index.rebuild().edge_fingerprint()
+
+    def test_update_matches_cold(self, tables, matcher_cls):
+        index = IncrementalMatchIndex(tables, matcher=matcher_cls())
+        index.update_table(_table("beta", [100, 200, 300]))
+        assert index.drg.edge_fingerprint() == index.rebuild().edge_fingerprint()
+
+    def test_drop_matches_cold(self, tables, matcher_cls):
+        index = IncrementalMatchIndex(tables, matcher=matcher_cls())
+        index.drop_table("beta")
+        assert index.drg.edge_fingerprint() == index.rebuild().edge_fingerprint()
+        assert "beta" not in index
+
+    def test_mutation_sequence_matches_cold(self, tables, matcher_cls):
+        index = IncrementalMatchIndex(tables, matcher=matcher_cls())
+        index.register_table(_table("delta", [1, 5]))
+        index.drop_table("alpha")
+        index.update_table(_table("gamma", [1, 2]))
+        index.register_table(_table("alpha", [2, 9]))
+        assert index.drg.edge_fingerprint() == index.rebuild().edge_fingerprint()
+        assert index.version == 4
+
+
+class TestScopedWork:
+    def test_register_matches_only_new_pairs(self, tables):
+        matcher = CountingMatcher()
+        index = IncrementalMatchIndex(tables, matcher=matcher)
+        matcher.calls.clear()
+        index.register_table(_table("delta", [1]))
+        assert matcher.calls == [
+            ("alpha", "delta"), ("beta", "delta"), ("gamma", "delta")
+        ]
+
+    def test_update_rematches_only_its_pairs(self, tables):
+        matcher = CountingMatcher()
+        index = IncrementalMatchIndex(tables, matcher=matcher)
+        matcher.calls.clear()
+        index.update_table(_table("beta", [42]))
+        assert sorted(matcher.calls) == [("alpha", "beta"), ("beta", "gamma")]
+
+    def test_drop_makes_no_matcher_calls(self, tables):
+        matcher = CountingMatcher()
+        index = IncrementalMatchIndex(tables, matcher=matcher)
+        matcher.calls.clear()
+        report = index.drop_table("beta")
+        assert matcher.calls == []
+        assert report.n_pairs_rematched == 0
+
+    def test_counters_account_reuse(self, tables):
+        index = IncrementalMatchIndex(tables, matcher=ComaMatcher())
+        before = index.counters.pairs_matched
+        report = index.register_table(_table("delta", [1]))
+        # 3 new pairs matched; the 3 old pairs replayed, not re-scored.
+        assert index.counters.pairs_matched == before + 3
+        assert report.n_pairs_reused == 3
+        assert index.counters.mutations == 1
+
+
+class TestMutationReports:
+    def test_register_report(self, tables):
+        index = IncrementalMatchIndex(tables, matcher=ComaMatcher())
+        report = index.register_table(_table("delta", [1, 2, 3]))
+        assert report.kind == "register"
+        assert report.table == "delta"
+        assert report.version == 1
+        assert not report.content_changed  # no existing rows changed
+        assert "delta" in report.affected_tables
+
+    def test_drop_report_affects_partners_with_edges(self, tables):
+        index = IncrementalMatchIndex(tables, matcher=ComaMatcher())
+        report = index.drop_table("beta")
+        assert report.kind == "drop"
+        assert report.content_changed
+        # every partner beta had a thresholded edge to is affected
+        partners = {t for pair in report.changed_pairs for t in pair} - {"beta"}
+        assert report.affected_tables == partners | {"beta"}
+
+    def test_noop_update_affects_only_itself(self, tables):
+        index = IncrementalMatchIndex(tables, matcher=ComaMatcher())
+        # identical contents -> identical matches -> no changed pairs
+        report = index.update_table(_table("beta", [1, 2, 3, 9]))
+        assert report.changed_pairs == ()
+        assert report.affected_tables == frozenset({"beta"})
+        assert report.content_changed  # rows *may* differ; indexes stale
+
+
+class TestValidation:
+    def test_register_duplicate_raises(self, tables):
+        index = IncrementalMatchIndex(tables)
+        with pytest.raises(DiscoveryError):
+            index.register_table(_table("beta", [1]))
+
+    def test_update_unknown_raises(self, tables):
+        index = IncrementalMatchIndex(tables)
+        with pytest.raises(DiscoveryError):
+            index.update_table(_table("nope", [1]))
+
+    def test_drop_unknown_raises(self, tables):
+        index = IncrementalMatchIndex(tables)
+        with pytest.raises(DiscoveryError):
+            index.drop_table("nope")
+
+    def test_bad_threshold_raises(self):
+        with pytest.raises(DiscoveryError):
+            IncrementalMatchIndex(threshold=0.0)
+
+    def test_unnamed_table_raises(self):
+        with pytest.raises(DiscoveryError):
+            IncrementalMatchIndex([Table({"x": [1]})])
+
+
+class TestRawTableFallback:
+    def test_matcher_without_profiles_still_incremental(self, tables):
+        matcher = CountingMatcher()
+        index = IncrementalMatchIndex(tables, matcher=matcher)
+        cold = DatasetRelationGraph.from_discovery(
+            index.tables, CountingMatcher(), threshold=0.55
+        )
+        assert index.drg.edge_fingerprint() == cold.edge_fingerprint()
+        index.update_table(_table("alpha", [5, 6]))
+        assert (
+            index.drg.edge_fingerprint()
+            == DatasetRelationGraph.from_discovery(
+                index.tables, CountingMatcher(), threshold=0.55
+            ).edge_fingerprint()
+        )

@@ -229,3 +229,108 @@ class TestThreadSafety:
         assert merged.cache_misses == 4
         assert merged.cache_hits == 4
         assert len(cache) == 4
+
+
+class TestInvalidation:
+    """Per-table surgical invalidation: the always-on service's mutation hook."""
+
+    def test_invalidate_drops_only_that_tables_entries(self):
+        cache, builder = HopCache(), CountingBuilder()
+        cache.get_or_build("t", "t.k", 0, builder)
+        cache.get_or_build("t", "t.other", 1, builder)
+        cache.get_or_build("u", "u.k", 0, builder)
+        dropped = cache.invalidate("t")
+        assert dropped == 2
+        assert len(cache) == 1
+        assert ("u", "u.k", 0) in cache
+        assert ("t", "t.k", 0) not in cache
+
+    def test_invalidate_unknown_table_is_a_counted_noop(self):
+        cache = HopCache()
+        assert cache.invalidate("ghost") == 0
+        assert cache.counters()["invalidations"] == 1
+        assert cache.counters()["entries_invalidated"] == 0
+
+    def test_lifetime_counters_and_hit_rate(self):
+        cache, builder = HopCache(), CountingBuilder()
+        cache.get_or_build("t", "t.k", 0, builder)
+        cache.get_or_build("t", "t.k", 0, builder)
+        cache.get_or_build("t", "t.k", 0, builder)
+        cache.invalidate("t")
+        cache.get_or_build("t", "t.k", 0, builder)
+        counters = cache.counters()
+        assert counters["hits"] == 2
+        assert counters["misses"] == 2
+        assert counters["builds"] == 2
+        assert counters["invalidations"] == 1
+        assert counters["entries_invalidated"] == 1
+        assert cache.hit_rate == 0.5
+
+    def test_disabled_cache_still_counts_builds(self):
+        cache, builder = HopCache(enabled=False), CountingBuilder()
+        cache.get_or_build("t", "t.k", 0, builder)
+        assert cache.counters()["builds"] == 1
+        assert cache.counters()["hits"] == cache.counters()["misses"] == 0
+
+    def test_concurrent_invalidation_keeps_counters_exact(self):
+        import threading
+
+        cache = HopCache()
+        builder = SlowBuilder(delay=0.002)
+        n_loops, n_threads = 25, 4
+        barrier = threading.Barrier(n_threads + 1)
+
+        def prober():
+            barrier.wait()
+            for _ in range(n_loops):
+                cache.get_or_build("t", "t.k", 0, builder)
+
+        def invalidator():
+            barrier.wait()
+            for _ in range(n_loops):
+                cache.invalidate("t")
+
+        threads = [threading.Thread(target=prober) for _ in range(n_threads)]
+        threads.append(threading.Thread(target=invalidator))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counters = cache.counters()
+        # Conservation laws that hold under any interleaving: every
+        # lookup is a hit or a miss, every miss elects one builder, and
+        # nothing invalidated is ever double-counted.
+        assert counters["hits"] + counters["misses"] == n_loops * n_threads
+        assert counters["builds"] == counters["misses"]
+        assert builder.calls == counters["builds"]
+        assert counters["invalidations"] == n_loops
+        assert counters["entries_invalidated"] <= counters["builds"]
+
+    def test_builder_racing_an_invalidation_never_publishes_stale(self):
+        import threading
+
+        cache = HopCache()
+        release = threading.Event()
+        entered = threading.Event()
+
+        def parked_builder():
+            entered.set()
+            release.wait(2.0)
+            return "stale"
+
+        worker = threading.Thread(
+            target=lambda: cache.get_or_build("t", "t.k", 0, parked_builder)
+        )
+        worker.start()
+        assert entered.wait(2.0)
+        # Invalidate while the elected builder is mid-build: its result
+        # must be returned to its caller but never enter the cache.
+        cache.invalidate("t")
+        release.set()
+        worker.join()
+        assert len(cache) == 0
+        assert ("t", "t.k", 0) not in cache
+        # The next lookup is an ordinary miss that rebuilds fresh.
+        fresh = cache.get_or_build("t", "t.k", 0, lambda: "fresh")
+        assert fresh == "fresh"
+        assert ("t", "t.k", 0) in cache

@@ -1,0 +1,172 @@
+"""Unit tests for the DRG delta API (incremental rebuilds).
+
+The contract under test: ``apply_delta`` must produce a DRG whose edge
+set *and adjacency insertion order* are identical to rebuilding from
+scratch over the post-mutation lake — order matters because the
+discovery BFS enumerates paths in adjacency order, so any scramble would
+silently change rankings.
+"""
+
+import pytest
+
+from repro.dataframe import Table
+from repro.errors import GraphError
+from repro.graph import DatasetRelationGraph, DrgDelta
+
+
+def _table(name, key_vals, extra=None):
+    data = {"id": list(key_vals)}
+    if extra:
+        data.update(extra)
+    return Table(data, name=name)
+
+
+@pytest.fixture
+def tables():
+    return [
+        _table("a", [1, 2, 3], {"x": [1.0, 2.0, 3.0]}),
+        _table("b", [1, 2, 9], {"y": [5, 6, 7]}),
+        _table("c", [1, 9, 9], {"z": [0, 1, 2]}),
+    ]
+
+
+def matcher(t1, t2):
+    """Deterministic toy matcher: every id/id pair scores 0.9."""
+    yield "id", "id", 0.9
+
+
+@pytest.fixture
+def drg(tables):
+    return DatasetRelationGraph.from_discovery(tables, matcher, threshold=0.55)
+
+
+def adjacency_order(drg):
+    """Full per-node adjacency as (partner, col_a, col_b, weight) rows."""
+    out = {}
+    for name in drg.table_names:
+        rows = []
+        for oriented in drg.graph.edges_of(name):
+            rows.append(
+                (oriented.target, oriented.source_column,
+                 oriented.target_column, oriented.weight)
+            )
+        out[name] = rows
+    return out
+
+
+class TestApplyDelta:
+    def test_add_table_matches_cold_rebuild(self, drg, tables):
+        d = _table("d", [2, 3, 4])
+        delta = DrgDelta(
+            added=(d,),
+            pair_edges={
+                ("a", "d"): (("id", "id", 0.9),),
+                ("b", "d"): (("id", "id", 0.9),),
+                ("c", "d"): (("id", "id", 0.9),),
+            },
+        )
+        new = drg.apply_delta(delta)
+        cold = DatasetRelationGraph.from_discovery(
+            tables + [d], matcher, threshold=0.55
+        )
+        assert new.table_names == cold.table_names
+        assert new.edge_fingerprint() == cold.edge_fingerprint()
+        assert adjacency_order(new) == adjacency_order(cold)
+
+    def test_drop_table_matches_cold_rebuild(self, drg, tables):
+        delta = DrgDelta(dropped=("b",))
+        new = drg.apply_delta(delta)
+        cold = DatasetRelationGraph.from_discovery(
+            [t for t in tables if t.name != "b"], matcher, threshold=0.55
+        )
+        assert new.table_names == cold.table_names
+        assert new.edge_fingerprint() == cold.edge_fingerprint()
+        assert adjacency_order(new) == adjacency_order(cold)
+
+    def test_update_keeps_position_and_replaces_edges(self, drg, tables):
+        b2 = _table("b", [1, 2, 3], {"y": [9, 9, 9]})
+        delta = DrgDelta(
+            updated=(b2,),
+            pair_edges={
+                ("a", "b"): (("id", "id", 0.7),),
+                ("b", "c"): (),
+            },
+        )
+        new = drg.apply_delta(delta)
+        cold = DatasetRelationGraph.from_discovery(
+            [tables[0], b2, tables[2]],
+            lambda t1, t2: (
+                [("id", "id", 0.7)] if {t1.name, t2.name} == {"a", "b"}
+                else [] if "b" in (t1.name, t2.name)
+                else [("id", "id", 0.9)]
+            ),
+            threshold=0.55,
+        )
+        assert new.table_names == ["a", "b", "c"]
+        assert new.table("b").column("y").values[0] == 9
+        assert new.edge_fingerprint() == cold.edge_fingerprint()
+
+    def test_unaffected_edges_are_shared_instances(self, drg):
+        d = _table("d", [5])
+        delta = DrgDelta(added=(d,), pair_edges={
+            ("a", "d"): (), ("b", "d"): (), ("c", "d"): (),
+        })
+        new = drg.apply_delta(delta)
+        old_edges = {id(e) for e in drg.graph.all_edges()}
+        new_edges = {id(e) for e in new.graph.all_edges()}
+        assert new_edges == old_edges  # every surviving edge is re-used
+
+    def test_original_is_untouched(self, drg):
+        before = drg.edge_fingerprint()
+        drg.apply_delta(DrgDelta(dropped=("c",)))
+        assert drg.edge_fingerprint() == before
+        assert drg.table_names == ["a", "b", "c"]
+
+    def test_sequence_of_deltas_matches_cold(self, drg, tables):
+        d = _table("d", [1, 2])
+        step1 = drg.apply_delta(DrgDelta(
+            added=(d,),
+            pair_edges={("a", "d"): (("id", "id", 0.8),),
+                        ("b", "d"): (), ("c", "d"): ()},
+        ))
+        step2 = step1.apply_delta(DrgDelta(dropped=("b",)))
+        cold = DatasetRelationGraph.from_discovery(
+            [tables[0], tables[2], d],
+            lambda t1, t2: (
+                [("id", "id", 0.8)] if {t1.name, t2.name} == {"a", "d"}
+                else [] if "d" in (t1.name, t2.name)
+                else [("id", "id", 0.9)]
+            ),
+            threshold=0.55,
+        )
+        assert step2.table_names == cold.table_names
+        assert step2.edge_fingerprint() == cold.edge_fingerprint()
+        assert adjacency_order(step2) == adjacency_order(cold)
+
+
+class TestDeltaValidation:
+    def test_drop_unknown_raises(self, drg):
+        with pytest.raises(GraphError):
+            drg.apply_delta(DrgDelta(dropped=("zzz",)))
+
+    def test_update_unknown_raises(self, drg):
+        with pytest.raises(GraphError):
+            drg.apply_delta(DrgDelta(updated=(_table("zzz", [1]),)))
+
+    def test_add_duplicate_raises(self, drg):
+        with pytest.raises(GraphError):
+            drg.apply_delta(DrgDelta(added=(_table("a", [1]),)))
+
+    def test_drop_and_update_overlap_raises(self, drg):
+        with pytest.raises(GraphError):
+            drg.apply_delta(
+                DrgDelta(updated=(_table("b", [1]),), dropped=("b",))
+            )
+
+    def test_affected_tables(self):
+        delta = DrgDelta(
+            added=(_table("d", [1]),),
+            updated=(_table("b", [1]),),
+            dropped=("c",),
+        )
+        assert delta.affected_tables == frozenset({"b", "c", "d"})
