@@ -1,4 +1,4 @@
-.PHONY: check test test-faults test-parallel test-service trace-smoke bench-engine bench-selection bench-parallel bench-service
+.PHONY: check test test-faults test-parallel test-service test-chunked trace-smoke bench-engine bench-selection bench-parallel bench-service bench-chunked
 
 # Fault-isolation fast gate + tier-1 tests + engine-cache and
 # selection-kernel micro-benches (smoke mode).
@@ -30,6 +30,16 @@ test-service:
 		tests/engine/test_hop_cache.py
 	PYTHONPATH=src python benchmarks/bench_service.py --smoke
 
+# Fast gate: dictionary-encoding + out-of-core suites (KeyDictionary
+# interning and cross-table alignment, chunked executor, spill manager,
+# encoded-vs-scalar hypothesis parity) plus the chunked-join micro-bench
+# in smoke mode (kernel parity, >=2x build+probe speedup, spilling
+# bounded-memory run).
+test-chunked:
+	PYTHONPATH=src python -m pytest -q tests/dataframe/test_encoding.py \
+		tests/engine/test_chunked.py tests/engine/test_encoded_parity.py
+	PYTHONPATH=src python benchmarks/bench_chunked_join.py --smoke
+
 # Observability smoke: traced diamond-lake run, manifest schema validation,
 # chrome-trace export, obs CLI, and the <2% no-op tracer overhead gate.
 trace-smoke:
@@ -54,3 +64,9 @@ bench-parallel:
 # BENCH_service.json.
 bench-service:
 	PYTHONPATH=src python benchmarks/bench_service.py
+
+# Full chunked-join benchmark (encoded kernels vs scalar over three lakes,
+# discovery parity, 100k-row bounded-memory spill run; parity- and
+# >=2x-speedup-gated); writes BENCH_chunked_join.json.
+bench-chunked:
+	PYTHONPATH=src python benchmarks/bench_chunked_join.py

@@ -32,6 +32,16 @@ python -m pytest -q tests/service tests/graph/test_drg_delta.py \
 python benchmarks/bench_service.py --smoke
 
 echo
+echo "== chunked-join fast gate =="
+# Encoding/chunked suites cover KeyDictionary interning + alignment, the
+# out-of-core executor and spill manager, and the encoded-vs-scalar
+# hypothesis parity properties; the smoke bench gates on kernel parity,
+# the >=2x build+probe speedup and a spilling bounded-memory run.
+python -m pytest -q tests/dataframe/test_encoding.py \
+    tests/engine/test_chunked.py tests/engine/test_encoded_parity.py
+python benchmarks/bench_chunked_join.py --smoke
+
+echo
 echo "== observability fast gate =="
 python -m pytest -q tests/obs
 python scripts/trace_smoke.py

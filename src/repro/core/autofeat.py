@@ -105,6 +105,10 @@ class AutoFeat:
             tracer=tracer,
             hop_latency_seconds=config.hop_latency_seconds,
             cache=self.hop_cache,
+            use_dict_keys=config.enable_dict_keys,
+            chunk_rows=config.chunk_rows,
+            memory_budget_bytes=config.memory_budget_bytes,
+            spill_dir=config.spill_dir,
         )
 
     def _tracer(self) -> Tracer:

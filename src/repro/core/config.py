@@ -118,6 +118,26 @@ class AutoFeatConfig:
         knob: it models a lake whose tables are fetched over a network
         and is what lets ``bench_parallel_discovery`` measure backend
         speedups machine-independently.
+    enable_dict_keys:
+        Build and probe join indexes on dictionary-encoded int32 key codes
+        (:class:`repro.dataframe.KeyDictionary`) instead of a Python dict
+        of boxed scalars.  Results are bit-identical either way — the
+        encoded kernels reproduce the seed-deterministic dedup
+        representatives exactly — so this flag exists for exact A/B
+        verification; ``benchmarks/bench_chunked_join.py`` gates the
+        speedup.
+    chunk_rows:
+        When set, join hops whose probe side exceeds this many rows stream
+        through the out-of-core executor
+        (:func:`repro.engine.chunked_left_join`) in fixed-size row
+        partitions.  None (the default) keeps hops in-core.
+    memory_budget_bytes:
+        Resident budget for completed partitions of a chunked hop; once
+        the deterministic byte estimate exceeds it, the oldest partitions
+        spill to disk and are streamed back for the final concatenation.
+        Only meaningful with ``chunk_rows`` set; None never spills.
+    spill_dir:
+        Parent directory for spill files (system temp when unset).
     enable_tracing:
         Record the run's hierarchical timing tree
         (``discover > hop > join / selection``) through
@@ -153,6 +173,10 @@ class AutoFeatConfig:
     parallel_backend: str = "serial"
     max_workers: int | None = None
     hop_latency_seconds: float = 0.0
+    enable_dict_keys: bool = True
+    chunk_rows: int | None = None
+    memory_budget_bytes: int | None = None
+    spill_dir: str | None = None
     enable_tracing: bool = True
     seed: int = 0
 
@@ -217,6 +241,15 @@ class AutoFeatConfig:
             raise ConfigError(
                 f"hop_latency_seconds must be >= 0, "
                 f"got {self.hop_latency_seconds}"
+            )
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise ConfigError(
+                f"chunk_rows must be >= 1 or None, got {self.chunk_rows}"
+            )
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes < 0:
+            raise ConfigError(
+                f"memory_budget_bytes must be >= 0 or None, "
+                f"got {self.memory_budget_bytes}"
             )
         if self.redundancy_method not in REDUNDANCY_METHODS:
             raise ConfigError(

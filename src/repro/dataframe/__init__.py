@@ -7,6 +7,7 @@ sampling, imputation and CSV I/O.
 """
 
 from .column import Column, DType
+from .encoding import CODE_NULL, KeyDictionary, normalize_key
 from .expressions import Expression, col, where
 from .groupby import aggregate, distinct_count, group_indices, group_sizes, uniqueness
 from .impute import (
@@ -37,6 +38,9 @@ __all__ = [
     "col",
     "where",
     "JoinIndex",
+    "KeyDictionary",
+    "CODE_NULL",
+    "normalize_key",
     "left_join",
     "inner_join",
     "dedup_by_key",

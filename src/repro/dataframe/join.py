@@ -13,10 +13,21 @@ Join execution is split into two phases so the expensive half can be
 reused across join paths:
 
 * **build** — :meth:`JoinIndex.build` deduplicates the right table and
-  hashes its key column once;
+  indexes its key column once;
 * **probe** — :meth:`JoinIndex.probe` maps any stream of left-hand keys
   onto build-side row indices, and :meth:`JoinIndex.left_join` gathers the
   build columns onto a probe table.
+
+Both phases run on **dictionary-encoded keys** by default: the key column
+is interned once into dense int32 codes by a
+:class:`~repro.dataframe.encoding.KeyDictionary`, deduplication groups
+rows with one stable argsort over the codes, and probes are a
+``searchsorted`` + gather over integers instead of a Python dict of boxed
+scalars.  The scalar path is kept verbatim behind ``use_dict_keys=False``
+as the bit-for-bit parity reference (and as the automatic fallback for the
+one column shape codes cannot represent, unmasked-NaN float keys).  Both
+paths pick dedup representatives through the same CRC-seeded per-key RNG,
+so their outputs are identical to the bit.
 
 :func:`left_join` and :func:`inner_join` remain the one-shot wrappers
 (build + probe in a single call); the execution engine in
@@ -33,6 +44,7 @@ import numpy as np
 
 from ..errors import JoinError
 from .column import Column, DType
+from .encoding import CODE_NULL, KeyDictionary, normalize_key
 from .table import Table
 
 __all__ = [
@@ -43,31 +55,19 @@ __all__ = [
     "join_key_null_ratio",
 ]
 
-
-def _key_of(value: Any) -> Any:
-    """Normalise a join-key value so that 1, 1.0 and np.int64(1) compare equal.
-
-    numpy scalars (``np.int64``, ``np.float64``, ``np.bool_``, ``np.str_``)
-    are unwrapped to the corresponding Python scalar first: they hash like
-    their Python twins but ``repr`` differently, which would destabilise the
-    :func:`_representative_index` digest across storage dtypes.
-    """
-    if value is None:
-        return None
-    if isinstance(value, np.generic):
-        value = value.item()
-    if isinstance(value, bool):
-        return value
-    if isinstance(value, float) and value.is_integer():
-        return int(value)
-    return value
+#: Backward-compatible alias: key normalisation now lives centrally in
+#: :mod:`repro.dataframe.encoding` so the encoded and scalar paths share
+#: one definition (the former private ``_key_of``).
+_key_of = normalize_key
 
 
-def _representative_index(indices: list[int], key: Any, seed: int) -> int:
+def _representative_index(indices, key: Any, seed: int) -> int:
     """Deterministically pick one row index from a join-key group.
 
     A per-key RNG is derived from a CRC of the key and the global seed, so
-    the pick is stable across runs and independent of dict iteration order.
+    the pick is stable across runs and independent of dict iteration order
+    — and of whether the group was assembled by the scalar or the encoded
+    kernel.
     """
     if len(indices) == 1:
         return indices[0]
@@ -76,23 +76,70 @@ def _representative_index(indices: list[int], key: Any, seed: int) -> int:
     return indices[int(rng.integers(len(indices)))]
 
 
-def dedup_by_key(table: Table, key_column: str, seed: int = 0) -> Table:
-    """Reduce ``table`` to one representative row per value of ``key_column``.
+def _encoded_dedup_picks(
+    codes: np.ndarray, dictionary: KeyDictionary, seed: int
+) -> np.ndarray:
+    """Representative row per distinct code, sorted ascending.
 
-    Rows whose key is null are dropped — they can never match a left join
-    probe.  The representative within each group is chosen deterministically
-    (see :func:`_representative_index`).
+    The vectorised core of :func:`dedup_by_key`: one stable argsort groups
+    the rows of every key (ascending row order within a group, exactly the
+    order the scalar path accumulates), singleton groups resolve without
+    touching Python, and only keys that actually have duplicates pay the
+    per-key digest-seeded RNG pick.
     """
-    column = table.column(key_column)
+    valid_rows = np.flatnonzero(codes >= 0)
+    if len(valid_rows) == 0:
+        return valid_rows.astype(np.int64)
+    group_codes = codes[valid_rows]
+    order = np.argsort(group_codes, kind="stable")
+    sorted_rows = valid_rows[order]
+    sorted_codes = group_codes[order]
+    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(sorted_codes)]))
+    picks = np.empty(len(starts), dtype=np.int64)
+    singleton = (ends - starts) == 1
+    picks[singleton] = sorted_rows[starts[singleton]]
+    for g in np.flatnonzero(~singleton):
+        start, end = starts[g], ends[g]
+        key = dictionary.key(int(sorted_codes[start]))
+        picks[g] = _representative_index(sorted_rows[start:end], key, seed)
+    picks.sort()
+    return picks
+
+
+def _scalar_dedup_picks(column: Column, seed: int) -> np.ndarray:
+    """The per-row reference grouping (parity baseline for the encoded path)."""
     groups: dict[Any, list[int]] = {}
     for i, value in enumerate(column):
         if value is None:
             continue
-        groups.setdefault(_key_of(value), []).append(i)
+        groups.setdefault(normalize_key(value), []).append(i)
     picks = sorted(
         _representative_index(indices, key, seed) for key, indices in groups.items()
     )
-    return table.take(np.asarray(picks, dtype=np.int64))
+    return np.asarray(picks, dtype=np.int64)
+
+
+def dedup_by_key(
+    table: Table, key_column: str, seed: int = 0, use_dict_keys: bool = True
+) -> Table:
+    """Reduce ``table`` to one representative row per value of ``key_column``.
+
+    Rows whose key is null are dropped — they can never match a left join
+    probe.  The representative within each group is chosen deterministically
+    (see :func:`_representative_index`).  With ``use_dict_keys`` (the
+    default) grouping runs on interned int32 codes; ``False`` forces the
+    scalar reference path.  Outputs are bit-identical either way.
+    """
+    column = table.column(key_column)
+    if use_dict_keys:
+        dictionary = KeyDictionary.from_column(column)
+        if dictionary is not None:
+            return table.take(
+                _encoded_dedup_picks(dictionary.codes, dictionary, seed)
+            )
+    return table.take(_scalar_dedup_picks(column, seed))
 
 
 class JoinIndex:
@@ -101,23 +148,45 @@ class JoinIndex:
     Built once per ``(table, key_column, seed)`` and probed arbitrarily
     many times — this is the unit the :class:`repro.engine.HopCache`
     memoizes across join paths.  The index is immutable after ``build``.
+
+    Two interchangeable backings exist: the **encoded** form carries the
+    key column's :class:`~repro.dataframe.encoding.KeyDictionary` plus a
+    dense ``code → build row`` gather table (``dictionary`` is non-None),
+    the **scalar** form a ``{normalised key: row}`` dict.  Probing an
+    encoded index with a :class:`Column` is fully vectorised; scalar
+    probes (arbitrary iterables, ``__contains__``) fall through to a
+    lazily derived dict either way.
     """
 
-    __slots__ = ("build_table", "key_column", "seed", "deduplicated", "_index")
+    __slots__ = (
+        "build_table",
+        "key_column",
+        "seed",
+        "deduplicated",
+        "_index",
+        "dictionary",
+        "_code_rows",
+    )
 
     def __init__(
         self,
         build_table: Table,
         key_column: str,
         seed: int,
-        index: dict[Any, int],
+        index: dict[Any, int] | None,
         deduplicated: bool,
+        dictionary: KeyDictionary | None = None,
+        code_rows: np.ndarray | None = None,
     ):
         self.build_table = build_table
         self.key_column = key_column
         self.seed = seed
         self.deduplicated = deduplicated
         self._index = index
+        #: The key column's interned universe (None on the scalar path).
+        self.dictionary = dictionary
+        #: Dense gather table mapping a dictionary code to its build row.
+        self._code_rows = code_rows
 
     @classmethod
     def build(
@@ -126,23 +195,102 @@ class JoinIndex:
         key_column: str,
         seed: int = 0,
         deduplicate: bool = True,
+        use_dict_keys: bool = True,
     ) -> "JoinIndex":
-        """Deduplicate ``table`` on ``key_column`` and hash the survivors.
+        """Deduplicate ``table`` on ``key_column`` and index the survivors.
 
         With ``deduplicate=False`` the table is taken as-is and a duplicate
         key raises :class:`JoinError` (a left join through it would
-        duplicate probe rows).
+        duplicate probe rows).  ``use_dict_keys=False`` forces the scalar
+        reference kernels; results are bit-identical, only speed differs.
         """
         if key_column not in table:
             raise JoinError(
                 f"right table {table.name!r} has no join column {key_column!r}"
             )
-        build = dedup_by_key(table, key_column, seed=seed) if deduplicate else table
+        dictionary = (
+            KeyDictionary.from_column(table.column(key_column))
+            if use_dict_keys
+            else None
+        )
+        if dictionary is None:
+            return cls._build_scalar(table, key_column, seed, deduplicate)
+        return cls._build_encoded(table, key_column, seed, deduplicate, dictionary)
+
+    @classmethod
+    def _build_encoded(
+        cls,
+        table: Table,
+        key_column: str,
+        seed: int,
+        deduplicate: bool,
+        dictionary: KeyDictionary,
+    ) -> "JoinIndex":
+        codes = dictionary.codes
+        if deduplicate:
+            picks = _encoded_dedup_picks(codes, dictionary, seed)
+            build = table.take(picks)
+            build_codes = codes[picks]
+        else:
+            cls._check_unique_codes(table, key_column, codes)
+            build = table
+            build_codes = codes
+        code_rows = np.full(dictionary.n_keys, -1, dtype=np.int64)
+        keyed = np.flatnonzero(build_codes >= 0)
+        code_rows[build_codes[keyed]] = keyed
+        return cls(
+            build,
+            key_column,
+            seed,
+            index=None,
+            deduplicated=deduplicate,
+            dictionary=dictionary,
+            code_rows=code_rows,
+        )
+
+    @staticmethod
+    def _check_unique_codes(
+        table: Table, key_column: str, codes: np.ndarray
+    ) -> None:
+        """Raise exactly where the scalar loop would on a repeated key.
+
+        The scalar builder fails on the first row whose key was already
+        seen; the vectorised check reproduces that row (the earliest
+        second occurrence across all repeated codes) so the error message
+        is byte-identical.
+        """
+        valid_rows = np.flatnonzero(codes >= 0)
+        if len(valid_rows) < 2:
+            return
+        group_codes = codes[valid_rows]
+        order = np.argsort(group_codes, kind="stable")
+        sorted_rows = valid_rows[order]
+        sorted_codes = group_codes[order]
+        repeats = sorted_codes[1:] == sorted_codes[:-1]
+        if not repeats.any():
+            return
+        offender = int(sorted_rows[1:][repeats].min())
+        value = table.column(key_column)[offender]
+        raise JoinError(
+            f"duplicate join key {value!r} in {table.name!r} with "
+            "deduplicate=False; a left join would duplicate probe rows"
+        )
+
+    @classmethod
+    def _build_scalar(
+        cls, table: Table, key_column: str, seed: int, deduplicate: bool
+    ) -> "JoinIndex":
+        """The per-row reference builder (parity baseline + NaN-key fallback)."""
+        build = (
+            table.take(_scalar_dedup_picks(table.column(key_column), seed))
+            if deduplicate
+            else table
+        )
         index: dict[Any, int] = {}
         for i, value in enumerate(build.column(key_column)):
             if value is None:
                 continue
-            key = _key_of(value)
+            key = normalize_key(value)
             if key in index:
                 raise JoinError(
                     f"duplicate join key {value!r} in {table.name!r} with "
@@ -154,21 +302,48 @@ class JoinIndex:
     @property
     def n_keys(self) -> int:
         """Number of distinct non-null join keys on the build side."""
+        if self.dictionary is not None:
+            return self.dictionary.n_keys
         return len(self._index)
 
-    def __contains__(self, value: Any) -> bool:
-        return _key_of(value) in self._index
+    def _scalar_index(self) -> dict[Any, int]:
+        """The ``{normalised key: build row}`` view, derived lazily.
 
-    def probe(self, keys: Iterable[Any]) -> np.ndarray:
+        Encoded indexes only materialise this for scalar probes and
+        membership tests; Column probes never touch it.  The build is
+        idempotent, so the unlocked lazy init is thread-safe.
+        """
+        if self._index is None:
+            code_rows = self._code_rows
+            self._index = {
+                self.dictionary.key(code): int(row)
+                for code, row in enumerate(code_rows)
+                if row >= 0
+            }
+        return self._index
+
+    def __contains__(self, value: Any) -> bool:
+        return normalize_key(value) in self._scalar_index()
+
+    def probe(self, keys: "Column | Iterable[Any]") -> np.ndarray:
         """Map probe-side key values onto build-side row indices.
 
         Returns an int64 gather array aligned with ``keys``; unmatched or
-        null keys map to ``-1``.
+        null keys map to ``-1``.  Probing an encoded index with a
+        :class:`Column` runs vectorised (encode against the build
+        dictionary, gather through the code table); any other input takes
+        the scalar route.
         """
-        index = self._index
+        if self.dictionary is not None and isinstance(keys, Column):
+            codes = self.dictionary.encode_column(keys)
+            if self.dictionary.n_keys == 0:
+                return np.full(len(codes), -1, dtype=np.int64)
+            gather = self._code_rows[np.clip(codes, 0, None)]
+            return np.where(codes >= 0, gather, -1)
+        index = self._scalar_index()
         return np.asarray(
             [
-                -1 if value is None else index.get(_key_of(value), -1)
+                -1 if value is None else index.get(normalize_key(value), -1)
                 for value in keys
             ],
             dtype=np.int64,
@@ -229,6 +404,7 @@ def left_join(
     deduplicate: bool = True,
     drop_right_key: bool = False,
     index: JoinIndex | None = None,
+    use_dict_keys: bool = True,
 ) -> Table:
     """Left join preserving the left table's row count exactly.
 
@@ -255,6 +431,9 @@ def left_join(
     drop_right_key:
         Drop the right join column from the output (it duplicates the left
         key on every matched row).
+    use_dict_keys:
+        Build and probe on dictionary-encoded int32 codes (the default) or
+        force the scalar reference kernels.  Results are bit-identical.
 
     Returns
     -------
@@ -267,7 +446,13 @@ def left_join(
     if left_on not in left:
         raise JoinError(f"left table {left.name!r} has no join column {left_on!r}")
     if index is None:
-        index = JoinIndex.build(right, right_on, seed=seed, deduplicate=deduplicate)
+        index = JoinIndex.build(
+            right,
+            right_on,
+            seed=seed,
+            deduplicate=deduplicate,
+            use_dict_keys=use_dict_keys,
+        )
     return index.left_join(left, left_on, drop_right_key=drop_right_key)
 
 
@@ -280,6 +465,7 @@ def inner_join(
     deduplicate: bool = True,
     drop_right_key: bool = False,
     index: JoinIndex | None = None,
+    use_dict_keys: bool = True,
 ) -> Table:
     """Inner join: like :func:`left_join` but unmatched probe rows are cut.
 
@@ -290,7 +476,13 @@ def inner_join(
     if left_on not in left:
         raise JoinError(f"left table {left.name!r} has no join column {left_on!r}")
     if index is None:
-        index = JoinIndex.build(right, right_on, seed=seed, deduplicate=deduplicate)
+        index = JoinIndex.build(
+            right,
+            right_on,
+            seed=seed,
+            deduplicate=deduplicate,
+            use_dict_keys=use_dict_keys,
+        )
     gather = index.probe(left.column(left_on))
     joined = index._attach(left, gather, drop_right_key)
     return joined.filter(gather >= 0)

@@ -22,6 +22,7 @@ from ..dataframe import JoinIndex, Table
 from ..errors import FaultError, HopBudgetExceeded, JoinError
 from ..graph import DatasetRelationGraph, JoinPath, OrientedEdge
 from ..obs.tracer import NULL_TRACER, Tracer
+from .chunked import chunked_left_join
 from .faults import FaultInjector
 from .hop_cache import HopCache
 from .naming import qualified, source_column_name
@@ -91,6 +92,22 @@ class JoinEngine:
         how per-worker engine views of a parallel run reuse the parent
         run's build state.  When given, ``enable_cache`` is ignored in
         favour of the shared cache's own setting.
+    use_dict_keys:
+        Build and probe join indexes on dictionary-encoded int32 codes
+        (the default) or force the scalar reference kernels.  Outputs are
+        bit-identical either way, so engines sharing a :class:`HopCache`
+        may serve each other's indexes regardless of the setting; only
+        speed differs.
+    chunk_rows:
+        When set, hops whose probe side is taller than this stream through
+        :func:`~repro.engine.chunked.chunked_left_join` in partitions of
+        ``chunk_rows`` rows.  None (the default) keeps every hop in-core.
+    memory_budget_bytes:
+        Resident-bytes budget for completed partitions of a chunked hop;
+        exceeding it spills the oldest partitions to disk.  Only
+        meaningful with ``chunk_rows`` set; None never spills.
+    spill_dir:
+        Parent directory for spill files (system temp when unset).
     """
 
     def __init__(
@@ -104,6 +121,10 @@ class JoinEngine:
         tracer: Tracer | None = None,
         hop_latency_seconds: float = 0.0,
         cache: HopCache | None = None,
+        use_dict_keys: bool = True,
+        chunk_rows: int | None = None,
+        memory_budget_bytes: int | None = None,
+        spill_dir: str | None = None,
     ):
         self.drg = drg
         self.seed = seed
@@ -114,6 +135,10 @@ class JoinEngine:
         self.fault_injector = fault_injector
         self.tracer = tracer or NULL_TRACER
         self.hop_latency_seconds = hop_latency_seconds
+        self.use_dict_keys = use_dict_keys
+        self.chunk_rows = chunk_rows
+        self.memory_budget_bytes = memory_budget_bytes
+        self.spill_dir = spill_dir
 
     def worker_view(self, tracer: Tracer | None = None) -> "JoinEngine":
         """A per-work-unit handle on this engine for parallel execution.
@@ -136,6 +161,10 @@ class JoinEngine:
             tracer=tracer,
             hop_latency_seconds=self.hop_latency_seconds,
             cache=self.cache,
+            use_dict_keys=self.use_dict_keys,
+            chunk_rows=self.chunk_rows,
+            memory_budget_bytes=self.memory_budget_bytes,
+            spill_dir=self.spill_dir,
         )
 
     # -- plan phase ---------------------------------------------------------
@@ -151,7 +180,9 @@ class JoinEngine:
 
         def builder() -> JoinIndex:
             right = self.drg.table(edge.target).prefixed(edge.target)
-            return JoinIndex.build(right, key_column, seed=self.seed)
+            return JoinIndex.build(
+                right, key_column, seed=self.seed, use_dict_keys=self.use_dict_keys
+            )
 
         hits_before = self.stats.cache_hits
         index = self.cache.get_or_build(
@@ -228,7 +259,19 @@ class JoinEngine:
                 ) from exc
             self.stats.hops_executed += 1
             self.stats.rows_probed += current.n_rows
-            joined = index.left_join(current, left_col)
+            if self.chunk_rows is not None and current.n_rows > self.chunk_rows:
+                joined = chunked_left_join(
+                    index,
+                    current,
+                    left_col,
+                    chunk_rows=self.chunk_rows,
+                    memory_budget_bytes=self.memory_budget_bytes,
+                    spill_dir=self.spill_dir,
+                    tracer=self.tracer,
+                    stats=self.stats,
+                )
+            else:
+                joined = index.left_join(current, left_col)
         elapsed = time.perf_counter() - started
         if self.hop_timeout_seconds is not None and elapsed > self.hop_timeout_seconds:
             raise HopBudgetExceeded(

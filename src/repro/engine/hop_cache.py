@@ -69,6 +69,13 @@ class HopCache:
             "builds": 0,
             "invalidations": 0,
             "entries_invalidated": 0,
+            # Dictionary-encoding traffic: a hit on an index that carries
+            # its KeyDictionary means the warm request skipped re-encoding
+            # entirely (encode_hits); every build of an encoded index paid
+            # the interning once (encode_misses).  Scalar-path indexes
+            # (NaN-key fallback or use_dict_keys=False) count in neither.
+            "encode_hits": 0,
+            "encode_misses": 0,
         }
 
     def __len__(self) -> int:
@@ -148,7 +155,11 @@ class HopCache:
                 stats.index_builds += 1
             with self._lock:
                 self._counters["builds"] += 1
-            return builder()
+            index = builder()
+            if getattr(index, "dictionary", None) is not None:
+                with self._lock:
+                    self._counters["encode_misses"] += 1
+            return index
         key = (table_name, key_column, seed)
         while True:
             with self._lock:
@@ -157,6 +168,10 @@ class HopCache:
                     if stats is not None:
                         stats.cache_hits += 1
                     self._counters["hits"] += 1
+                    if getattr(cached, "dictionary", None) is not None:
+                        # The cached index carries its KeyDictionary, so
+                        # this request skips the encode phase outright.
+                        self._counters["encode_hits"] += 1
                     return cached
                 event = self._building.get(key)
                 if event is None:
@@ -185,5 +200,7 @@ class HopCache:
             if self._epochs.get(table_name, 0) == epoch:
                 self._indexes[key] = index
             self._building.pop(key, None)
+            if getattr(index, "dictionary", None) is not None:
+                self._counters["encode_misses"] += 1
         event.set()
         return index
