@@ -1,4 +1,4 @@
-.PHONY: check test test-faults test-parallel test-service test-chunked trace-smoke bench-engine bench-selection bench-parallel bench-service bench-chunked
+.PHONY: check test test-faults test-parallel test-service test-chunked test-anytime trace-smoke bench-engine bench-selection bench-parallel bench-service bench-chunked bench-anytime
 
 # Fault-isolation fast gate + tier-1 tests + engine-cache and
 # selection-kernel micro-benches (smoke mode).
@@ -40,6 +40,16 @@ test-chunked:
 		tests/engine/test_chunked.py tests/engine/test_encoded_parity.py
 	PYTHONPATH=src python benchmarks/bench_chunked_join.py --smoke
 
+# Fast gate: anytime budgeted-navigation suites (UCB frontier, run
+# budgets, hop/run deadline enforcement, budget-vs-full-BFS parity and
+# monotone-regret hypothesis properties, service per-request budgets)
+# plus the anytime micro-bench in smoke mode (degeneration and
+# infinite-budget parity).
+test-anytime:
+	PYTHONPATH=src python -m pytest -q tests/core/test_anytime.py \
+		tests/engine/test_deadlines.py tests/service/test_service.py
+	PYTHONPATH=src python benchmarks/bench_anytime.py --smoke
+
 # Observability smoke: traced diamond-lake run, manifest schema validation,
 # chrome-trace export, obs CLI, and the <2% no-op tracer overhead gate.
 trace-smoke:
@@ -70,3 +80,9 @@ bench-service:
 # >=2x-speedup-gated); writes BENCH_chunked_join.json.
 bench-chunked:
 	PYTHONPATH=src python benchmarks/bench_chunked_join.py
+
+# Full anytime benchmark (regret-vs-budget curve over covertype; parity-
+# gated at infinite budget and >=2x-speedup-at-<=5%-regret-gated); writes
+# BENCH_anytime.json.
+bench-anytime:
+	PYTHONPATH=src python benchmarks/bench_anytime.py

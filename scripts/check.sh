@@ -42,6 +42,16 @@ python -m pytest -q tests/dataframe/test_encoding.py \
 python benchmarks/bench_chunked_join.py --smoke
 
 echo
+echo "== anytime-navigation fast gate =="
+# Anytime suites cover the UCB frontier, run budgets, cooperative hop/run
+# deadline enforcement, budgeted-vs-full-BFS parity and monotone-regret
+# hypothesis properties, and service per-request budgets; the smoke bench
+# gates on degeneration and infinite-budget parity over covertype.
+python -m pytest -q tests/core/test_anytime.py \
+    tests/engine/test_deadlines.py tests/service/test_service.py
+python benchmarks/bench_anytime.py --smoke
+
+echo
 echo "== observability fast gate =="
 python -m pytest -q tests/obs
 python scripts/trace_smoke.py

@@ -17,11 +17,10 @@ comparison depends on them:
 
 from __future__ import annotations
 
-import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..dataframe import Table
+from ..core.navigation import ucb_score
 from ..engine import (
     DEFAULT_ERROR_BUDGET,
     DEFAULT_MAX_RETRIES,
@@ -47,12 +46,12 @@ class _Arm:
     total_reward: float = 0.0
 
     def ucb(self, total_pulls: int, exploration: float) -> float:
-        if self.pulls == 0:
-            return math.inf
-        mean = self.total_reward / self.pulls
-        return mean + exploration * math.sqrt(
-            2.0 * math.log(max(total_pulls, 1)) / self.pulls
-        )
+        # Shared UCB1 with the navigation frontier: unpulled arms score
+        # +inf (cold-start optimism) and the bonus uses log(total+1), so
+        # it is strictly positive from the first pull — the previous
+        # log(max(total, 1)) form zeroed the bonus while total_pulls <= 1
+        # and collapsed early tie-breaking onto one-sample means.
+        return ucb_score(self.pulls, self.total_reward, total_pulls, exploration)
 
 
 def _same_name_options(drg: DatasetRelationGraph, source: str, target: str):
@@ -127,9 +126,13 @@ def run_mab(
         total_pulls = 0
 
         while total_pulls < budget and arm_index:
+            # Deterministic tie order: among equal UCB scores (all arms
+            # are +inf before their first pull) the earliest-inserted arm
+            # wins, independent of float noise or dict rehashing.
             arm = max(
-                arm_index.values(), key=lambda a: a.ucb(total_pulls, exploration)
-            )
+                enumerate(arm_index.values()),
+                key=lambda pair: (pair[1].ucb(total_pulls, exploration), -pair[0]),
+            )[1]
             total_pulls += 1
             arm.pulls += 1
             options = _same_name_options(drg, arm.source, arm.target)

@@ -4,6 +4,18 @@ from .autofeat import AutoFeat, autofeat_augment
 from .config import AutoFeatConfig
 from .explain import FeatureProvenance, explain, explain_rows
 from .materialize import apply_hop, materialize_path, qualified, source_column_name
+from .navigation import (
+    FRONTIER_STRATEGIES,
+    FrontierEntry,
+    NavigationFrontier,
+    NavigationStats,
+    RunBudget,
+    UcbArm,
+    UcbFrontierPolicy,
+    hop_reward,
+    ranking_regret,
+    ucb_score,
+)
 from .pruning import completeness, passes_quality, similarity_pruned_count
 from .ranking import compute_ranking_score, normalised_sum
 from .result import AugmentationResult, DiscoveryResult, RankedPath, TrainedPath
@@ -35,4 +47,14 @@ __all__ = [
     "apply_hop",
     "qualified",
     "source_column_name",
+    "FRONTIER_STRATEGIES",
+    "FrontierEntry",
+    "NavigationFrontier",
+    "NavigationStats",
+    "RunBudget",
+    "UcbArm",
+    "UcbFrontierPolicy",
+    "hop_reward",
+    "ranking_regret",
+    "ucb_score",
 ]

@@ -18,7 +18,6 @@ Typical use::
 from __future__ import annotations
 
 import time
-from collections import deque
 
 from ..dataframe import Table, stratified_sample
 from ..engine import (
@@ -34,7 +33,7 @@ from ..engine import (
 )
 from ..engine.engine import _hop_context
 from ..engine.parallel import simulate_injector_check, walk_injected_faults
-from ..errors import FaultError, JoinError
+from ..errors import FaultError, JoinError, RunBudgetExceeded
 from ..graph import DatasetRelationGraph, JoinPath
 from ..ml import evaluate_accuracy
 from ..obs import (
@@ -47,6 +46,13 @@ from ..obs import (
 )
 from .config import AutoFeatConfig
 from .materialize import qualified
+from .navigation import (
+    NavigationFrontier,
+    NavigationStats,
+    RunBudget,
+    UcbFrontierPolicy,
+    hop_reward,
+)
 from .pruning import completeness, similarity_pruned_count
 from .ranking import compute_ranking_score
 from .result import AugmentationResult, DiscoveryResult, RankedPath, TrainedPath
@@ -85,7 +91,10 @@ class AutoFeat:
         self.hop_cache = hop_cache
 
     def _engine(
-        self, tracer: Tracer | None = None, install_injector: bool = True
+        self,
+        tracer: Tracer | None = None,
+        install_injector: bool = True,
+        run_deadline: float | None = None,
     ) -> JoinEngine:
         """One per-run engine carrying the config's hop budgets.
 
@@ -93,6 +102,8 @@ class AutoFeat:
         are resolved canonically at work-unit *generation* time (see
         :mod:`repro.engine.parallel`), so the engine — and every worker
         view derived from it — must not consult the injector again.
+        ``run_deadline`` threads the run's anytime wall-clock budget into
+        every hop for cooperative mid-hop aborts.
         """
         config = self.config
         return JoinEngine(
@@ -109,7 +120,37 @@ class AutoFeat:
             chunk_rows=config.chunk_rows,
             memory_budget_bytes=config.memory_budget_bytes,
             spill_dir=config.spill_dir,
+            run_deadline=run_deadline,
         )
+
+    def _navigation(
+        self, deadline: float | None
+    ) -> tuple[RunBudget, NavigationFrontier]:
+        """The run's anytime budget and traversal frontier.
+
+        An explicit ``deadline`` (a shared ``augment`` deadline or a
+        service request's) overrides a fresh ``config.budget_seconds``
+        countdown.  Unbudgeted runs always get the canonical FIFO
+        frontier regardless of ``config.frontier_strategy`` — every path
+        is explored anyway, and canonical order is the bit-parity
+        contract with the reference traversal (DESIGN.md §14); the UCB
+        priority order engages only when there is a budget to spend
+        wisely.
+        """
+        config = self.config
+        budget = RunBudget.start(
+            config.budget_seconds, config.max_hops, deadline=deadline
+        )
+        strategy = config.frontier_strategy if budget.active else "fifo"
+        policy = (
+            UcbFrontierPolicy(config.frontier_exploration)
+            if strategy == "ucb"
+            else None
+        )
+        frontier = NavigationFrontier(
+            traversal=config.traversal, strategy=strategy, policy=policy
+        )
+        return budget, frontier
 
     def _tracer(self) -> Tracer:
         """One per-run tracer honouring ``config.enable_tracing``."""
@@ -127,7 +168,12 @@ class AutoFeat:
 
     # -- discovery (ranking) phase ---------------------------------------------
 
-    def discover(self, base_name: str, label_column: str) -> DiscoveryResult:
+    def discover(
+        self,
+        base_name: str,
+        label_column: str,
+        deadline: float | None = None,
+    ) -> DiscoveryResult:
         """Rank all surviving join paths from ``base_name``.
 
         Runs entirely on a stratified sample of the base table; no ML model
@@ -156,17 +202,29 @@ class AutoFeat:
         deterministically — the result is bit-identical to the serial
         traversal (same ranked paths, scores, selected features, failure
         report); see :meth:`_discover_parallel`.
+
+        With an anytime budget set (``config.budget_seconds`` /
+        ``config.max_hops``, or an explicit ``deadline`` — an absolute
+        ``time.monotonic`` timestamp, as passed by :meth:`augment` and
+        the discovery service), the traversal becomes *anytime*: the
+        frontier expands in ``config.frontier_strategy`` order and the
+        run stops gracefully when the budget expires, returning the
+        best-k-so-far with ``budget_exhausted`` set and the navigation
+        accounting on ``DiscoveryResult.navigation``.
         """
         if self.config.parallel_backend != "serial":
-            return self._discover_parallel(base_name, label_column)
-        return self._discover_serial(base_name, label_column)
+            return self._discover_parallel(base_name, label_column, deadline)
+        return self._discover_serial(base_name, label_column, deadline)
 
-    def _discover_serial(self, base_name: str, label_column: str) -> DiscoveryResult:
+    def _discover_serial(
+        self, base_name: str, label_column: str, deadline: float | None = None
+    ) -> DiscoveryResult:
         """The single-threaded reference traversal (the parity baseline)."""
         config = self.config
         tracer = self._tracer()
         started = time.perf_counter()
-        engine = self._engine(tracer)
+        budget, frontier = self._navigation(deadline)
+        engine = self._engine(tracer, run_deadline=budget.deadline)
         faults = self._faults("discovery")
 
         base = self.drg.table(base_name)
@@ -195,6 +253,14 @@ class AutoFeat:
         pruned_quality = 0
         pruned_similarity = 0
         empty_contribution = 0
+        budget_exhausted = False
+
+        def record_pull(table: str, reward: float) -> None:
+            # Every *executed* hop into a table pulls its UCB arm —
+            # pruned/failed hops with reward 0, ranked hops with their
+            # bounded ranking reward.  No-op under the FIFO frontier.
+            if frontier.policy is not None:
+                frontier.policy.update(table, reward)
 
         with tracer.span("discover", base=base_name, label=label_column) as root:
             with tracer.span("sample", size=config.sample_size):
@@ -215,16 +281,17 @@ class AutoFeat:
 
             # Each frontier entry carries the partially-joined sample and
             # the qualified features accepted along the path so far.
-            frontier: deque[tuple[JoinPath, Table, tuple[str, ...]]] = deque(
-                [(JoinPath(base_name), sample, ())]
-            )
+            frontier.push(JoinPath(base_name), sample, ())
             while frontier:
-                # BFS pops the oldest path (level order); the DFS ablation
-                # pops the newest, diving deep before finishing a level.
-                if config.traversal == "bfs":
-                    path, current, path_features = frontier.popleft()
-                else:
-                    path, current, path_features = frontier.pop()
+                if budget.exhausted(explored):
+                    budget_exhausted = True
+                    break
+                # The frontier pops in the strategy's order: canonical
+                # FIFO (BFS level order, or newest-first under the DFS
+                # ablation) or highest UCB priority on budgeted runs.
+                entry = frontier.pop()
+                path, current = entry.path, entry.table
+                path_features = entry.features
                 if path.length >= config.max_path_length:
                     continue
                 visited = set(path.nodes)
@@ -235,6 +302,9 @@ class AutoFeat:
                         self.drg, path.terminal, neighbor
                     )
                     for edge in self.drg.best_join_options(path.terminal, neighbor):
+                        if budget.exhausted(explored):
+                            budget_exhausted = True
+                            break
                         explored += 1
                         with tracer.span(
                             "hop", table=edge.target, key=edge.target_column
@@ -257,8 +327,16 @@ class AutoFeat:
                                 )
                             except JoinError:
                                 pruned_quality += 1
+                                record_pull(edge.target, 0.0)
                                 continue
+                            except RunBudgetExceeded:
+                                # The wall-clock deadline landed inside
+                                # the hop: graceful anytime exhaustion,
+                                # never a recorded failure.
+                                budget_exhausted = True
+                                break
                             if hop is None:
+                                record_pull(edge.target, 0.0)
                                 continue
                             joined, contributed = hop
                             comp = completeness(joined, contributed)
@@ -270,6 +348,7 @@ class AutoFeat:
                                 empty_contribution += 1
                             elif comp < config.tau:
                                 pruned_quality += 1
+                                record_pull(edge.target, 0.0)
                                 continue
 
                             join_key = qualified(edge.target, edge.target_column)
@@ -283,6 +362,8 @@ class AutoFeat:
                             score = compute_ranking_score(
                                 outcome.relevance_scores, outcome.redundancy_scores
                             )
+                            reward = hop_reward(score, comp)
+                            record_pull(edge.target, reward)
                             new_path = path.extend(edge)
                             new_features = path_features + outcome.accepted_names
                             ranked.append(
@@ -299,7 +380,17 @@ class AutoFeat:
                             # Even an all-irrelevant join stays in the
                             # frontier: it may be the gateway to a relevant
                             # transitive table.
-                            frontier.append((new_path, joined, new_features))
+                            frontier.push(new_path, joined, new_features, reward)
+                    if budget_exhausted:
+                        break
+                if budget_exhausted:
+                    break
+            if budget_exhausted:
+                tracer.event(
+                    "budget_exhausted",
+                    hops=explored,
+                    frontier_unexplored=len(frontier),
+                )
 
         # Both timings come from the span tree on traced runs; the
         # untraced fallback is one wall-clock pair plus the single
@@ -315,6 +406,16 @@ class AutoFeat:
         engine_stats = engine.snapshot()
         selection_stats = selector.stats
         failure_report = faults.report()
+        navigation = NavigationStats(
+            strategy=frontier.strategy,
+            budget_seconds=config.budget_seconds,
+            max_hops=config.max_hops,
+            hops_executed=explored,
+            budget_exhausted=budget_exhausted,
+            frontier_unexplored=len(frontier),
+            best_score=ranked[0].score if ranked else 0.0,
+            arms_tracked=frontier.policy.n_arms if frontier.policy else 0,
+        )
         manifest = self._discovery_manifest(
             tracer,
             engine_stats,
@@ -329,6 +430,7 @@ class AutoFeat:
                 "discovery.pruned_similarity": pruned_similarity,
                 "discovery.hops_empty_contribution": empty_contribution,
             },
+            navigation=navigation,
         )
         return DiscoveryResult(
             base_table=base_name,
@@ -344,6 +446,8 @@ class AutoFeat:
             n_hops_empty_contribution=empty_contribution,
             failure_report=failure_report,
             run_manifest=manifest,
+            budget_exhausted=budget_exhausted,
+            navigation=navigation,
         )
 
     # -- parallel discovery ---------------------------------------------------
@@ -371,30 +475,41 @@ class AutoFeat:
             wave.children.append(span)
 
     def _discover_parallel(
-        self, base_name: str, label_column: str
+        self, base_name: str, label_column: str, deadline: float | None = None
     ) -> DiscoveryResult:
         """Wave-parallel Algorithm 1 with a deterministic merge.
 
         The traversal advances in *waves*: under BFS one wave is the whole
-        current frontier level (draining the deque reproduces the serial
-        pop order exactly), under DFS it is the newest entry's edge
-        fan-out (what serial expands before descending).  Work units are
-        enumerated in canonical order — the same ``neighbors`` /
+        current frontier level (draining the frontier reproduces the
+        serial pop order exactly), under DFS — and under the UCB priority
+        frontier of a budgeted run — it is one popped entry's edge
+        fan-out (what serial expands before popping again).  Work units
+        are enumerated in canonical order — the same ``neighbors`` /
         ``best_join_options`` loops as serial, with similarity pruning and
         fault planning done here on the coordinating thread — executed on
         the configured backend, and merged back **in enumeration order**:
         quality pruning, streaming feature selection, ranking, frontier
-        growth and the failure policy (with its shared error budget) all
-        happen at the merge point only.  That ordering is the entire
-        determinism argument: every order-sensitive decision consumes
-        worker output in exactly the sequence serial would have produced
-        it, so ranked paths, scores, selected features and failure
-        reports are bit-identical across backends.
+        growth, UCB arm updates and the failure policy (with its shared
+        error budget) all happen at the merge point only.  That ordering
+        is the entire determinism argument: every order-sensitive
+        decision consumes worker output in exactly the sequence serial
+        would have produced it, so ranked paths, scores, selected
+        features and failure reports are bit-identical across backends.
+
+        Budget semantics mirror serial: a ``max_hops`` cap truncates
+        work-unit *generation* at exactly the serial cut point (the
+        executed hop set is the identical prefix on every backend); the
+        wall-clock deadline is checked between waves and cooperatively
+        inside workers, so an expiring run overshoots by at most one
+        wave.
         """
         config = self.config
         tracer = self._tracer()
         started = time.perf_counter()
-        engine = self._engine(tracer, install_injector=False)
+        budget, frontier = self._navigation(deadline)
+        engine = self._engine(
+            tracer, install_injector=False, run_deadline=budget.deadline
+        )
         injector = self.fault_injector
         faults = self._faults("discovery")
         attempts = self._attempts()
@@ -425,6 +540,13 @@ class AutoFeat:
         pruned_similarity = 0
         empty_contribution = 0
         waves = 0
+        budget_exhausted = False
+
+        def record_pull(table: str, reward: float) -> None:
+            # Arm updates happen only here, at the canonical merge point,
+            # mirroring the serial pull sequence exactly.
+            if frontier.policy is not None:
+                frontier.policy.update(table, reward)
 
         executor = PathExecutor(
             engine,
@@ -454,22 +576,28 @@ class AutoFeat:
                         batch="seed",
                     )
 
-                frontier: deque[tuple[JoinPath, Table, tuple[str, ...]]] = deque(
-                    [(JoinPath(base_name), sample, ())]
-                )
+                frontier.push(JoinPath(base_name), sample, ())
                 while frontier:
+                    if budget.exhausted(explored):
+                        budget_exhausted = True
+                        break
                     # One wave: the whole frontier level (BFS — level-
-                    # synchronous draining reproduces serial pop order) or
-                    # the single newest entry (DFS — serial fully fans an
-                    # entry out before descending into its last child).
-                    if config.traversal == "bfs":
-                        entries = list(frontier)
-                        frontier.clear()
+                    # synchronous draining reproduces serial pop order),
+                    # or one popped entry's fan-out (DFS — serial fully
+                    # fans an entry out before descending into its last
+                    # child — and likewise the UCB priority frontier,
+                    # whose arm statistics must advance before the next
+                    # pop is chosen).
+                    if frontier.strategy != "ucb" and config.traversal == "bfs":
+                        entries = frontier.drain_level()
                     else:
                         entries = [frontier.pop()]
 
                     tasks: list[HopTask] = []
-                    for path, current, path_features in entries:
+                    leftover: list = []
+                    for position, entry in enumerate(entries):
+                        path, current = entry.path, entry.table
+                        path_features = entry.features
                         if path.length >= config.max_path_length:
                             continue
                         visited = set(path.nodes)
@@ -482,6 +610,13 @@ class AutoFeat:
                             for edge in self.drg.best_join_options(
                                 path.terminal, neighbor
                             ):
+                                # The serial per-hop budget check, at the
+                                # identical canonical position — a
+                                # max_hops run generates exactly serial's
+                                # executed-hop prefix on every backend.
+                                if budget.exhausted(explored):
+                                    budget_exhausted = True
+                                    break
                                 explored += 1
                                 plan = plan_hop_faults(
                                     injector,
@@ -501,7 +636,22 @@ class AutoFeat:
                                         plan=plan,
                                     )
                                 )
+                            if budget_exhausted:
+                                break
+                        if budget_exhausted:
+                            # Level entries the cut never reached go back
+                            # on the frontier so the unexplored count
+                            # matches serial's (which only consumed the
+                            # entry it stopped inside).
+                            leftover = entries[position + 1 :]
+                            break
+                    for entry in leftover:
+                        frontier.push(
+                            entry.path, entry.table, entry.features, entry.reward
+                        )
                     if not tasks:
+                        if budget_exhausted:
+                            break
                         continue
                     waves += 1
                     with tracer.span(
@@ -530,10 +680,19 @@ class AutoFeat:
                                     edge=task.edge,
                                     retries=task.plan.retries,
                                 )
+                                record_pull(task.edge.target, 0.0)
                                 continue
                             hop = None
                             if outcome.error is None:
                                 hop = (outcome.joined, outcome.contributed)
+                            elif isinstance(outcome.error, RunBudgetExceeded):
+                                # The deadline tripped inside a worker:
+                                # graceful anytime exhaustion — the run
+                                # stops after this wave's merge, and the
+                                # aborted unit is neither a failure nor a
+                                # pruned path.
+                                budget_exhausted = True
+                                continue
                             elif isinstance(outcome.error, FaultError):
                                 if fail_fast:
                                     raise outcome.error
@@ -573,6 +732,10 @@ class AutoFeat:
                                     )
                                 except JoinError:
                                     pruned_quality += 1
+                                    record_pull(task.edge.target, 0.0)
+                                    continue
+                                except RunBudgetExceeded:
+                                    budget_exhausted = True
                                     continue
                                 if recorded is not None:
                                     last, retries = recorded
@@ -583,11 +746,13 @@ class AutoFeat:
                                         edge=task.edge,
                                         retries=retries,
                                     )
+                                    record_pull(task.edge.target, 0.0)
                                     continue
                             else:
                                 # Ordinary JoinError: Algorithm 1's pruning
                                 # input, identical handling to serial.
                                 pruned_quality += 1
+                                record_pull(task.edge.target, 0.0)
                                 continue
 
                             joined, contributed = hop
@@ -596,6 +761,7 @@ class AutoFeat:
                                 empty_contribution += 1
                             elif comp < config.tau:
                                 pruned_quality += 1
+                                record_pull(task.edge.target, 0.0)
                                 continue
 
                             join_key = qualified(
@@ -614,6 +780,8 @@ class AutoFeat:
                                 outcome_batch.relevance_scores,
                                 outcome_batch.redundancy_scores,
                             )
+                            reward = hop_reward(score, comp)
+                            record_pull(task.edge.target, reward)
                             new_path = task.path.extend(task.edge)
                             new_features = (
                                 task.features + outcome_batch.accepted_names
@@ -629,7 +797,17 @@ class AutoFeat:
                                     relevant_names=outcome_batch.relevant_names,
                                 )
                             )
-                            frontier.append((new_path, joined, new_features))
+                            frontier.push(
+                                new_path, joined, new_features, reward
+                            )
+                    if budget_exhausted:
+                        break
+                if budget_exhausted:
+                    tracer.event(
+                        "budget_exhausted",
+                        hops=explored,
+                        frontier_unexplored=len(frontier),
+                    )
         finally:
             executor.close()
 
@@ -644,6 +822,16 @@ class AutoFeat:
         engine_stats = engine.snapshot()
         selection_stats = selector.stats
         failure_report = faults.report()
+        navigation = NavigationStats(
+            strategy=frontier.strategy,
+            budget_seconds=config.budget_seconds,
+            max_hops=config.max_hops,
+            hops_executed=explored,
+            budget_exhausted=budget_exhausted,
+            frontier_unexplored=len(frontier),
+            best_score=ranked[0].score if ranked else 0.0,
+            arms_tracked=frontier.policy.n_arms if frontier.policy else 0,
+        )
         manifest = self._discovery_manifest(
             tracer,
             engine_stats,
@@ -660,6 +848,7 @@ class AutoFeat:
                 "discovery.waves": waves,
             },
             gauges=self._parallel_gauges(executor),
+            navigation=navigation,
         )
         return DiscoveryResult(
             base_table=base_name,
@@ -675,6 +864,8 @@ class AutoFeat:
             n_hops_empty_contribution=empty_contribution,
             failure_report=failure_report,
             run_manifest=manifest,
+            budget_exhausted=budget_exhausted,
+            navigation=navigation,
         )
 
     @staticmethod
@@ -697,6 +888,7 @@ class AutoFeat:
         selection_seconds: float,
         counters: dict[str, int],
         gauges: dict | None = None,
+        navigation: NavigationStats | None = None,
     ):
         """Assemble the discovery-phase :class:`repro.obs.RunManifest`."""
         registry = MetricsRegistry()
@@ -707,6 +899,8 @@ class AutoFeat:
             registry.counter(name).inc(value)
         for name, value in (gauges or {}).items():
             registry.gauge(name).set(value)
+        if navigation is not None:
+            navigation.publish(registry)
         timing = None
         if not tracer.enabled:
             # Untraced runs still get a minimal two-node tree so stage
@@ -734,6 +928,7 @@ class AutoFeat:
         self,
         discovery: DiscoveryResult,
         model_name: str = "lightgbm",
+        deadline: float | None = None,
     ) -> AugmentationResult:
         """Materialise and evaluate the top-k ranked paths; keep the best.
 
@@ -758,21 +953,30 @@ class AutoFeat:
         ``"processes"``, the top-k paths materialise and train on a
         worker pool and merge deterministically in ranked order; see
         :meth:`_train_parallel`.
+
+        With an anytime deadline active (``config.budget_seconds``, or
+        the explicit ``deadline`` that :meth:`augment` shares across
+        both phases), training stops gracefully once it expires: the
+        trained prefix of the top-k still competes and the result is
+        returned with ``budget_exhausted`` set.  ``config.max_hops``
+        applies to discovery only.
         """
         if self.config.parallel_backend != "serial":
-            return self._train_parallel(discovery, model_name)
-        return self._train_serial(discovery, model_name)
+            return self._train_parallel(discovery, model_name, deadline)
+        return self._train_serial(discovery, model_name, deadline)
 
     def _train_serial(
         self,
         discovery: DiscoveryResult,
         model_name: str = "lightgbm",
+        deadline: float | None = None,
     ) -> AugmentationResult:
         """The single-threaded reference training pass (parity baseline)."""
         started = time.perf_counter()
         config = self.config
         tracer = self._tracer()
-        engine = self._engine(tracer)
+        budget = RunBudget.start(config.budget_seconds, None, deadline=deadline)
+        engine = self._engine(tracer, run_deadline=budget.deadline)
         faults = self._faults("training")
         base = self.drg.table(discovery.base_table)
         base_features = [
@@ -781,16 +985,26 @@ class AutoFeat:
 
         trained: list[TrainedPath] = []
         tables: list[Table] = []
+        budget_exhausted = False
         with tracer.span(
             "train", base=discovery.base_table, model=model_name
         ) as root:
             for ranked in discovery.top(config.top_k):
+                if budget.expired():
+                    budget_exhausted = True
+                    break
                 with tracer.span("path", path=ranked.path.describe()):
-                    materialised = faults.execute(
-                        lambda: engine.materialize_path(ranked.path, base),
-                        base=discovery.base_table,
-                        path=ranked.path,
-                    )
+                    try:
+                        materialised = faults.execute(
+                            lambda: engine.materialize_path(ranked.path, base),
+                            base=discovery.base_table,
+                            path=ranked.path,
+                        )
+                    except RunBudgetExceeded:
+                        # Deadline landed mid-materialisation: the
+                        # trained prefix still competes below.
+                        budget_exhausted = True
+                        break
                     if materialised is None:
                         continue
                     table, __ = materialised
@@ -837,6 +1051,7 @@ class AutoFeat:
         total_seconds = discovery.discovery_seconds + train_seconds
         engine_stats = engine.snapshot()
         failure_report = faults.report()
+        budget_exhausted = budget_exhausted or discovery.budget_exhausted
         manifest = self._augment_manifest(
             discovery,
             tracer,
@@ -846,6 +1061,7 @@ class AutoFeat:
             total_seconds=total_seconds,
             n_trained=len(trained),
             best=best,
+            budget_exhausted=budget_exhausted,
         )
 
         return AugmentationResult(
@@ -858,12 +1074,14 @@ class AutoFeat:
             engine_stats=engine_stats,
             failure_report=failure_report,
             run_manifest=manifest,
+            budget_exhausted=budget_exhausted,
         )
 
     def _train_parallel(
         self,
         discovery: DiscoveryResult,
         model_name: str = "lightgbm",
+        deadline: float | None = None,
     ) -> AugmentationResult:
         """Worker-pool top-k training with a deterministic merge.
 
@@ -880,7 +1098,10 @@ class AutoFeat:
         started = time.perf_counter()
         config = self.config
         tracer = self._tracer()
-        engine = self._engine(tracer, install_injector=False)
+        budget = RunBudget.start(config.budget_seconds, None, deadline=deadline)
+        engine = self._engine(
+            tracer, install_injector=False, run_deadline=budget.deadline
+        )
         injector = self.fault_injector
         faults = self._faults("training")
         attempts = self._attempts()
@@ -892,6 +1113,7 @@ class AutoFeat:
 
         trained: list[TrainedPath] = []
         tables: list[Table] = []
+        budget_exhausted = False
         executor = PathExecutor(
             engine,
             backend=config.parallel_backend,
@@ -903,6 +1125,12 @@ class AutoFeat:
                 "train", base=discovery.base_table, model=model_name
             ) as root:
                 top = list(discovery.top(config.top_k))
+                if budget.expired():
+                    # Nothing left to spend: return the anytime result
+                    # with zero trained paths rather than dispatching a
+                    # wave that would only abort inside the workers.
+                    budget_exhausted = True
+                    top = []
                 tasks: list[PathTask] = []
                 for i, ranked in enumerate(top):
                     plan = plan_path_faults(
@@ -948,6 +1176,13 @@ class AutoFeat:
                                     retries=task.plan.retries,
                                 )
                                 continue
+                            if isinstance(outcome.error, RunBudgetExceeded):
+                                # Deadline tripped inside this unit's
+                                # worker: graceful exhaustion, not a
+                                # training failure — the remaining
+                                # outcomes (already computed) still merge.
+                                budget_exhausted = True
+                                continue
                             if outcome.error is not None:
                                 if fail_fast:
                                     raise outcome.error
@@ -980,14 +1215,18 @@ class AutoFeat:
                                     )
                                     return table, acc, len(features)
 
-                                result, recorded = settle_managed_failure(
-                                    attempts=attempts,
-                                    passed_at=passed_at,
-                                    first_exc=outcome.error,
-                                    simulate=simulate,
-                                    rerun=rerun,
-                                    kinds=(JoinError, FaultError),
-                                )
+                                try:
+                                    result, recorded = settle_managed_failure(
+                                        attempts=attempts,
+                                        passed_at=passed_at,
+                                        first_exc=outcome.error,
+                                        simulate=simulate,
+                                        rerun=rerun,
+                                        kinds=(JoinError, FaultError),
+                                    )
+                                except RunBudgetExceeded:
+                                    budget_exhausted = True
+                                    continue
                                 if recorded is not None:
                                     last, retries = recorded
                                     faults.record(
@@ -1038,6 +1277,7 @@ class AutoFeat:
         total_seconds = discovery.discovery_seconds + train_seconds
         engine_stats = engine.snapshot()
         failure_report = faults.report()
+        budget_exhausted = budget_exhausted or discovery.budget_exhausted
         manifest = self._augment_manifest(
             discovery,
             tracer,
@@ -1048,6 +1288,7 @@ class AutoFeat:
             n_trained=len(trained),
             best=best,
             gauges=self._parallel_gauges(executor),
+            budget_exhausted=budget_exhausted,
         )
 
         return AugmentationResult(
@@ -1060,6 +1301,7 @@ class AutoFeat:
             engine_stats=engine_stats,
             failure_report=failure_report,
             run_manifest=manifest,
+            budget_exhausted=budget_exhausted,
         )
 
     def _augment_manifest(
@@ -1073,6 +1315,7 @@ class AutoFeat:
         n_trained: int,
         best,
         gauges: dict | None = None,
+        budget_exhausted: bool = False,
     ):
         """Compose discovery + training into one ``augment`` manifest."""
         registry = MetricsRegistry()
@@ -1084,6 +1327,10 @@ class AutoFeat:
             registry.gauge("train.best_accuracy").set(round(best.accuracy, 6))
         for name, value in (gauges or {}).items():
             registry.gauge(name).set(value)
+        discovery.navigation.publish(registry)
+        registry.gauge("navigation.budget_exhausted").set(
+            1 if budget_exhausted else 0
+        )
 
         if tracer.enabled:
             train_tree = tracer.timing_tree()
@@ -1110,10 +1357,19 @@ class AutoFeat:
         base_name: str,
         label_column: str,
         model_name: str = "lightgbm",
+        deadline: float | None = None,
     ) -> AugmentationResult:
-        """Full pipeline: discover, rank, train top-k, return the best."""
-        discovery = self.discover(base_name, label_column)
-        return self.train_top_k(discovery, model_name=model_name)
+        """Full pipeline: discover, rank, train top-k, return the best.
+
+        ``config.budget_seconds`` (or an explicit ``deadline``) is one
+        budget for the *whole* pipeline: the deadline is computed once
+        here and shared by both phases, so a discovery phase that uses
+        most of it leaves only the remainder for training.
+        """
+        if deadline is None:
+            deadline = RunBudget.compute_deadline(self.config.budget_seconds)
+        discovery = self.discover(base_name, label_column, deadline=deadline)
+        return self.train_top_k(discovery, model_name=model_name, deadline=deadline)
 
 
 def autofeat_augment(

@@ -19,6 +19,7 @@ from ..engine.faults import (
 )
 from ..engine.parallel import PARALLEL_BACKENDS
 from ..errors import ConfigError
+from .navigation import DEFAULT_FRONTIER_EXPLORATION, FRONTIER_STRATEGIES
 from ..selection.redundancy import REDUNDANCY_METHODS
 from ..selection.relevance import RELEVANCE_METRICS
 
@@ -148,6 +149,30 @@ class AutoFeatConfig:
         the manifest's timing tree collapses to a single node and the
         per-hop spans, events and ``feature_selection_seconds`` detail
         come from cheap fallback accounting instead of spans).
+    budget_seconds:
+        Run-level anytime wall-clock budget for ``discover`` /
+        ``train_top_k`` / ``augment`` (``augment`` shares one deadline
+        across both phases).  When the deadline expires the run stops
+        gracefully and returns the best-k-so-far with
+        ``budget_exhausted`` set on the result — never an error.  None
+        (the default) disables the budget and keeps results bit-identical
+        to the reference full traversal.
+    max_hops:
+        Run-level cap on *executed* join hops during discovery — the
+        deterministic anytime budget: the run explores exactly the first
+        ``max_hops`` hops of the frontier strategy's expansion order, so
+        explored sets nest as the budget grows and regret is monotone
+        non-increasing.  None disables the cap.
+    frontier_strategy:
+        Expansion order of a *budgeted* traversal: ``"ucb"`` (the
+        default) scores frontier entries by UCB1 over per-target-table
+        arm statistics so the budget is spent on promising subgraphs
+        first; ``"fifo"`` truncates the canonical BFS/DFS order instead.
+        Unbudgeted runs always traverse in canonical order regardless —
+        every path is explored anyway and canonical order is what keeps
+        results bit-identical to the reference traversal (DESIGN.md §14).
+    frontier_exploration:
+        UCB1 exploration constant of the ``"ucb"`` frontier strategy.
     seed:
         Seed for sampling and join-representative choices.
     """
@@ -178,6 +203,10 @@ class AutoFeatConfig:
     memory_budget_bytes: int | None = None
     spill_dir: str | None = None
     enable_tracing: bool = True
+    budget_seconds: float | None = None
+    max_hops: int | None = None
+    frontier_strategy: str = "ucb"
+    frontier_exploration: float = DEFAULT_FRONTIER_EXPLORATION
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -250,6 +279,25 @@ class AutoFeatConfig:
             raise ConfigError(
                 f"memory_budget_bytes must be >= 0 or None, "
                 f"got {self.memory_budget_bytes}"
+            )
+        if self.budget_seconds is not None and self.budget_seconds <= 0:
+            raise ConfigError(
+                f"budget_seconds must be positive or None, "
+                f"got {self.budget_seconds}"
+            )
+        if self.max_hops is not None and self.max_hops < 0:
+            raise ConfigError(
+                f"max_hops must be >= 0 or None, got {self.max_hops}"
+            )
+        if self.frontier_strategy not in FRONTIER_STRATEGIES:
+            raise ConfigError(
+                f"unknown frontier strategy {self.frontier_strategy!r}; "
+                f"expected one of {list(FRONTIER_STRATEGIES)}"
+            )
+        if self.frontier_exploration < 0:
+            raise ConfigError(
+                f"frontier_exploration must be >= 0, "
+                f"got {self.frontier_exploration}"
             )
         if self.redundancy_method not in REDUNDANCY_METHODS:
             raise ConfigError(

@@ -9,6 +9,7 @@ from ..engine import ExecutionStats, FailureReport
 from ..graph import JoinPath
 from ..obs import RunManifest
 from ..selection.stats import SelectionStats
+from .navigation import NavigationStats
 
 __all__ = ["RankedPath", "DiscoveryResult", "TrainedPath", "AugmentationResult"]
 
@@ -71,6 +72,13 @@ class DiscoveryResult:
     #: Reproducibility record of the traversal: config snapshot, seed,
     #: dataset fingerprint, git revision, timing tree, metrics, events.
     run_manifest: RunManifest | None = None
+    #: True when the run's anytime budget (wall-clock deadline or
+    #: ``max_hops``) expired before the frontier drained: ``ranked_paths``
+    #: is the best-k-so-far, not the full traversal's ranking.
+    budget_exhausted: bool = False
+    #: Frontier/budget accounting of the traversal (strategy, executed
+    #: hops, unexplored frontier size, best score).
+    navigation: NavigationStats = field(default_factory=NavigationStats)
 
     def top(self, k: int) -> tuple[RankedPath, ...]:
         """The ``k`` best-scoring paths."""
@@ -110,6 +118,10 @@ class AugmentationResult:
     #: training timing tree composed under one ``augment`` root, plus the
     #: combined metrics of both phases.
     run_manifest: RunManifest | None = None
+    #: True when the run's anytime budget expired during either phase:
+    #: discovery stopped early (see ``discovery.budget_exhausted``) or
+    #: training covered only a prefix of the top-k paths.
+    budget_exhausted: bool = False
 
     @property
     def accuracy(self) -> float:
@@ -149,6 +161,11 @@ class AugmentationResult:
         ]
         if self.run_manifest is not None:
             lines.append(f"stages: {self.run_manifest.stage_summary()}")
+        if self.budget_exhausted:
+            lines.append(
+                "anytime budget exhausted: "
+                + self.discovery.navigation.describe()
+            )
         if self.discovery.n_hops_empty_contribution:
             lines.append(
                 f"{self.discovery.n_hops_empty_contribution} empty-contribution "

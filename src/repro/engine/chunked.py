@@ -31,10 +31,12 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 
 import numpy as np
 
 from ..dataframe import Column, JoinIndex, Table
+from ..errors import HopBudgetExceeded, RunBudgetExceeded
 from ..obs.tracer import NULL_TRACER, Tracer
 from .stats import EngineStats
 
@@ -167,6 +169,9 @@ def chunked_left_join(
     spill_dir: str | None = None,
     tracer: Tracer | None = None,
     stats: EngineStats | None = None,
+    hop_deadline: float | None = None,
+    run_deadline: float | None = None,
+    deadline_context: str = "",
 ) -> Table:
     """Probe ``index`` with ``left`` in fixed-size row partitions.
 
@@ -199,11 +204,39 @@ def chunked_left_join(
     stats:
         Engine counters: ``chunks_executed``, spill counters, and the
         ``peak_resident_bytes`` high-water mark.
+    hop_deadline / run_deadline:
+        Cooperative deadlines as absolute ``time.monotonic`` timestamps,
+        checked *between* partitions so a runaway hop aborts after at
+        most one chunk's worth of overshoot instead of paying the full
+        join cost before the post-hoc timeout fires.  ``hop_deadline``
+        (the per-hop ``hop_timeout_seconds`` budget) raises
+        :class:`~repro.errors.HopBudgetExceeded`; ``run_deadline`` (the
+        run-level anytime budget) raises
+        :class:`~repro.errors.RunBudgetExceeded`.  The run deadline is
+        checked first — anytime expiry is graceful termination, not a
+        recorded hop failure.
+    deadline_context:
+        Human-readable hop description appended to deadline error
+        messages.
     """
     tracer = tracer or NULL_TRACER
     n = left.n_rows
     if n <= chunk_rows:
         return index.left_join(left, left_on)
+
+    def check_deadlines(chunks_done: int) -> None:
+        now = time.monotonic()
+        suffix = f"; {deadline_context}" if deadline_context else ""
+        if run_deadline is not None and now >= run_deadline:
+            raise RunBudgetExceeded(
+                f"run budget expired after {chunks_done} of "
+                f"{-(-n // chunk_rows)} partitions of a chunked hop{suffix}"
+            )
+        if hop_deadline is not None and now >= hop_deadline:
+            raise HopBudgetExceeded(
+                f"chunked hop overran its wall-clock budget after "
+                f"{chunks_done} of {-(-n // chunk_rows)} partitions{suffix}"
+            )
 
     spiller = SpillManager(spill_dir, stats=stats, tracer=tracer)
     # Each entry is ["mem", table, nbytes] or ["disk", handle, None],
@@ -212,7 +245,8 @@ def chunked_left_join(
     resident_bytes = 0
     oldest_resident = 0
     try:
-        for start in range(0, n, chunk_rows):
+        for chunk_no, start in enumerate(range(0, n, chunk_rows)):
+            check_deadlines(chunk_no)
             stop = min(start + chunk_rows, n)
             with tracer.span("chunk", start=start, rows=stop - start):
                 chunk = left.take(np.arange(start, stop))

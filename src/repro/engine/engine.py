@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 
 from ..dataframe import JoinIndex, Table
-from ..errors import FaultError, HopBudgetExceeded, JoinError
+from ..errors import FaultError, HopBudgetExceeded, JoinError, RunBudgetExceeded
 from ..graph import DatasetRelationGraph, JoinPath, OrientedEdge
 from ..obs.tracer import NULL_TRACER, Tracer
 from .chunked import chunked_left_join
@@ -59,11 +59,14 @@ class JoinEngine:
         Disable to rebuild the join index on every hop (exact A/B switch —
         results are bit-identical either way, only the work differs).
     hop_timeout_seconds:
-        Per-hop wall-clock budget.  The check is cooperative (a hop's
-        elapsed time is measured after its build and probe phases, which
-        are the only places time goes), so a hop that overruns raises a
-        typed :class:`~repro.errors.HopBudgetExceeded` instead of letting
-        the run hang hop after hop.  None disables the guard.
+        Per-hop wall-clock budget.  The check is cooperative: chunked
+        hops carry the deadline into
+        :func:`~repro.engine.chunked.chunked_left_join` and test it
+        *between* partitions (aborting a runaway join after at most one
+        chunk of overshoot), and every hop re-checks elapsed time after
+        its build and probe phases.  A hop that overruns raises a typed
+        :class:`~repro.errors.HopBudgetExceeded` instead of letting the
+        run hang hop after hop.  None disables the guard.
     max_output_rows:
         Per-hop output-cardinality cap.  The engine only left-joins
         through deduplicated indexes, so a hop's output row count equals
@@ -108,6 +111,15 @@ class JoinEngine:
         meaningful with ``chunk_rows`` set; None never spills.
     spill_dir:
         Parent directory for spill files (system temp when unset).
+    run_deadline:
+        Absolute ``time.monotonic`` timestamp of the run-level anytime
+        budget (None = unbudgeted).  Hops check it cooperatively — at hop
+        entry, after the index build, and between chunked partitions —
+        and raise :class:`~repro.errors.RunBudgetExceeded` once it has
+        passed, which the navigator treats as graceful exhaustion rather
+        than a hop failure.  Monotonic timestamps are system-wide on
+        Linux, so a deadline computed by the coordinator remains
+        meaningful inside process-pool workers.
     """
 
     def __init__(
@@ -125,6 +137,7 @@ class JoinEngine:
         chunk_rows: int | None = None,
         memory_budget_bytes: int | None = None,
         spill_dir: str | None = None,
+        run_deadline: float | None = None,
     ):
         self.drg = drg
         self.seed = seed
@@ -139,6 +152,7 @@ class JoinEngine:
         self.chunk_rows = chunk_rows
         self.memory_budget_bytes = memory_budget_bytes
         self.spill_dir = spill_dir
+        self.run_deadline = run_deadline
 
     def worker_view(self, tracer: Tracer | None = None) -> "JoinEngine":
         """A per-work-unit handle on this engine for parallel execution.
@@ -165,6 +179,7 @@ class JoinEngine:
             chunk_rows=self.chunk_rows,
             memory_budget_bytes=self.memory_budget_bytes,
             spill_dir=self.spill_dir,
+            run_deadline=self.run_deadline,
         )
 
     # -- plan phase ---------------------------------------------------------
@@ -198,6 +213,11 @@ class JoinEngine:
 
     # -- execute phase ------------------------------------------------------
 
+    def _check_run_deadline(self, context: str) -> None:
+        """Raise :class:`RunBudgetExceeded` once the run deadline passed."""
+        if self.run_deadline is not None and time.monotonic() >= self.run_deadline:
+            raise RunBudgetExceeded(f"run budget expired; {context}")
+
     def apply_hop(
         self,
         current: Table,
@@ -222,6 +242,7 @@ class JoinEngine:
         given) and the failing edge, so pruned-path and failure-report
         diagnostics are actionable.
         """
+        self._check_run_deadline(_hop_context(base_name, path, edge))
         if self.fault_injector is not None:
             try:
                 self.fault_injector.check(edge)
@@ -244,6 +265,11 @@ class JoinEngine:
                 f"{_hop_context(base_name, path, edge)}"
             )
         started = time.perf_counter()
+        hop_deadline = (
+            time.monotonic() + self.hop_timeout_seconds
+            if self.hop_timeout_seconds is not None
+            else None
+        )
         with self.tracer.span(
             "join", table=edge.target, key=edge.target_column, rows=current.n_rows
         ):
@@ -257,6 +283,10 @@ class JoinEngine:
                 raise JoinError(
                     f"{exc}; {_hop_context(base_name, path, edge)}"
                 ) from exc
+            # Cooperative check between the build and probe phases: a run
+            # whose deadline landed inside the index build aborts before
+            # paying for the probe as well.
+            self._check_run_deadline(_hop_context(base_name, path, edge))
             self.stats.hops_executed += 1
             self.stats.rows_probed += current.n_rows
             if self.chunk_rows is not None and current.n_rows > self.chunk_rows:
@@ -269,6 +299,9 @@ class JoinEngine:
                     spill_dir=self.spill_dir,
                     tracer=self.tracer,
                     stats=self.stats,
+                    hop_deadline=hop_deadline,
+                    run_deadline=self.run_deadline,
+                    deadline_context=_hop_context(base_name, path, edge),
                 )
             else:
                 joined = index.left_join(current, left_col)

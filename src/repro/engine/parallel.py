@@ -51,7 +51,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..dataframe import Table
-from ..errors import ConfigError, FaultError, JoinError
+from ..errors import ConfigError, FaultError, JoinError, RunBudgetExceeded
 from ..graph import JoinPath, OrientedEdge
 from ..obs.tracer import Tracer
 from .engine import JoinEngine, _hop_context
@@ -298,7 +298,11 @@ def _execute_hop(view: JoinEngine, tracer: Tracer, task: HopTask) -> HopOutcome:
             joined, contributed = view.apply_hop(
                 task.table, task.edge, task.base_name, path=task.path
             )
-    except (JoinError, FaultError) as exc:
+    except (JoinError, FaultError, RunBudgetExceeded) as exc:
+        # RunBudgetExceeded is carried back as the unit's outcome (not
+        # re-raised through the pool): the coordinator decides at the
+        # canonical merge point whether the run's budget has expired —
+        # a worker-side trip is just an early abort of that unit's work.
         error = exc
     return HopOutcome(
         index=task.index,
@@ -338,7 +342,7 @@ def _execute_path(view: JoinEngine, tracer: Tracer, drg, task: PathTask) -> Path
                 )
             table = materialised
             n_features = len(features)
-    except (JoinError, FaultError) as exc:
+    except (JoinError, FaultError, RunBudgetExceeded) as exc:
         error = exc
     return PathOutcome(
         index=task.index,
@@ -466,6 +470,9 @@ class PathExecutor:
                     "chunk_rows": engine.chunk_rows,
                     "memory_budget_bytes": engine.memory_budget_bytes,
                     "spill_dir": engine.spill_dir,
+                    # monotonic deadlines are system-wide on Linux, so
+                    # worker processes can honour the coordinator's one.
+                    "run_deadline": engine.run_deadline,
                 }
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers_used,

@@ -57,6 +57,18 @@ class ErrorBudgetExceeded(FaultError):
     """
 
 
+class RunBudgetExceeded(ReproError):
+    """A run-level anytime budget (wall-clock deadline) expired mid-hop.
+
+    Deliberately *not* a :class:`FaultError`: budget expiry is the normal
+    termination signal of anytime navigation (see
+    :mod:`repro.core.navigation`), not a failure.  The navigator catches
+    it, stops the traversal gracefully and returns the best-k-so-far with
+    ``budget_exhausted`` set — it must never reach the
+    :class:`repro.engine.FaultManager` and be recorded as a degradation.
+    """
+
+
 class GraphError(ReproError):
     """The dataset relation graph was queried or mutated inconsistently."""
 

@@ -39,7 +39,7 @@ import queue
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core import AutoFeat, AutoFeatConfig
 from ..core.result import AugmentationResult, DiscoveryResult
@@ -112,6 +112,9 @@ class ServiceResponse:
     model_name: str | None
     result: DiscoveryResult | AugmentationResult
     cache_hit: bool
+    #: True when the run's anytime budget expired and ``result`` is the
+    #: best-so-far partial answer rather than the full exploration.
+    budget_exhausted: bool
     snapshot_version: int
     queue_seconds: float
     execute_seconds: float
@@ -269,14 +272,35 @@ class DiscoveryService:
         model_name: str | None = None,
         config: AutoFeatConfig | None = None,
         use_cache: bool = True,
+        budget_seconds: float | None = None,
+        max_hops: int | None = None,
     ) -> RequestFuture:
-        """Enqueue one request; returns immediately with a future."""
+        """Enqueue one request; returns immediately with a future.
+
+        ``budget_seconds`` / ``max_hops`` override the config's anytime
+        budget for this request only (see DESIGN.md §14).  The wall-clock
+        deadline starts ticking when a worker *begins executing* the run,
+        not at submit time, so queue wait never eats the budget.  Budget
+        overrides are part of the result-cache key (they live on the
+        request config), so a tight-budget partial answer is never served
+        to a later unbudgeted request.
+        """
         if self._closed:
             raise ServiceError("service is closed; no further requests")
         if kind not in REQUEST_KINDS:
             raise ServiceError(
                 f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}"
             )
+        resolved = config or self.config
+        if budget_seconds is not None or max_hops is not None:
+            overrides = {}
+            if budget_seconds is not None:
+                overrides["budget_seconds"] = budget_seconds
+            if max_hops is not None:
+                overrides["max_hops"] = max_hops
+            # replace() re-runs AutoFeatConfig.__post_init__, so invalid
+            # budgets are rejected here, before the request is queued.
+            resolved = replace(resolved, **overrides)
         request = _Request(
             kind=kind,
             base=base,
@@ -284,7 +308,7 @@ class DiscoveryService:
             model_name=(
                 (model_name or "lightgbm") if kind == "augment" else None
             ),
-            config=config or self.config,
+            config=resolved,
             use_cache=use_cache and self._enable_result_cache,
             future=RequestFuture(),
         )
@@ -300,10 +324,18 @@ class DiscoveryService:
         config: AutoFeatConfig | None = None,
         use_cache: bool = True,
         timeout: float | None = None,
+        budget_seconds: float | None = None,
+        max_hops: int | None = None,
     ) -> ServiceResponse:
         """Synchronous convenience wrapper: submit + wait."""
         return self.submit(
-            "discover", base, label, config=config, use_cache=use_cache
+            "discover",
+            base,
+            label,
+            config=config,
+            use_cache=use_cache,
+            budget_seconds=budget_seconds,
+            max_hops=max_hops,
         ).result(timeout)
 
     def augment(
@@ -314,6 +346,8 @@ class DiscoveryService:
         config: AutoFeatConfig | None = None,
         use_cache: bool = True,
         timeout: float | None = None,
+        budget_seconds: float | None = None,
+        max_hops: int | None = None,
     ) -> ServiceResponse:
         """Synchronous convenience wrapper: submit + wait."""
         return self.submit(
@@ -323,6 +357,8 @@ class DiscoveryService:
             model_name=model_name,
             config=config,
             use_cache=use_cache,
+            budget_seconds=budget_seconds,
+            max_hops=max_hops,
         ).result(timeout)
 
     # -- worker side ---------------------------------------------------------
@@ -369,9 +405,12 @@ class DiscoveryService:
             else:
                 result = self._run(request, snapshot)
                 cache_hit = False
-                if request.use_cache:
+                if request.use_cache and self._cacheable(request, result):
                     self._store(key, request, snapshot, result)
         execute_seconds = time.perf_counter() - started
+        budget_exhausted = bool(getattr(result, "budget_exhausted", False))
+        if budget_exhausted:
+            self.registry.counter("service.requests_budget_exhausted").inc()
         self._count_cache(cache_hit)
         manifest = self._request_manifest(
             request, snapshot, cache_hit, queue_seconds, execute_seconds
@@ -383,6 +422,7 @@ class DiscoveryService:
             model_name=request.model_name,
             result=result,
             cache_hit=cache_hit,
+            budget_exhausted=budget_exhausted,
             snapshot_version=snapshot.version,
             queue_seconds=queue_seconds,
             execute_seconds=execute_seconds,
@@ -399,6 +439,22 @@ class DiscoveryService:
         return autofeat.augment(
             request.base, request.label, model_name=request.model_name
         )
+
+    @staticmethod
+    def _cacheable(request: _Request, result) -> bool:
+        """Whether a fresh result may enter the warm result cache.
+
+        A ``max_hops``-exhausted result is deterministic — the hop budget
+        cuts the canonical exploration order at a fixed point, so a rerun
+        reproduces it bit-for-bit and caching is sound.  A wall-clock
+        exhausted result depends on machine load at execution time: a
+        rerun could explore more (or fewer) hops, so serving the cached
+        partial to a later identical request would freeze one machine's
+        timing into the answer.  Those stay uncached.
+        """
+        if not getattr(result, "budget_exhausted", False):
+            return True
+        return request.config.budget_seconds is None
 
     def _lookup(self, key: tuple) -> CachedEntry | None:
         with self._results_lock:

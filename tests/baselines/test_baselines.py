@@ -176,3 +176,41 @@ class TestAutoFeatAdapter:
         autofeat = run_autofeat(drg, "base", "label", "lightgbm", seed=1)
         base_acc = run_base(base, "label", "lightgbm", seed=1).accuracy
         assert autofeat.accuracy > base_acc
+
+
+class TestMabUcbColdStart:
+    """Regression for the UCB cold-start bug (shared ucb_score)."""
+
+    def test_unpulled_arm_scores_infinite(self):
+        from repro.baselines.mab import _Arm
+
+        arm = _Arm(source="a", target="b")
+        assert arm.ucb(total_pulls=0, exploration=0.5) == float("inf")
+        assert arm.ucb(total_pulls=50, exploration=0.5) == float("inf")
+
+    def test_exploration_bonus_positive_after_first_pull(self):
+        from repro.baselines.mab import _Arm
+
+        # The old log(max(total, 1)) form returned a bare one-sample
+        # mean here (zero bonus while total_pulls <= 1).
+        arm = _Arm(source="a", target="b", pulls=1, total_reward=0.0)
+        assert arm.ucb(total_pulls=1, exploration=0.5) > 0.0
+
+    def test_run_mab_deterministic_per_seed(self, lake):
+        drg, __ = lake
+        runs = [
+            run_mab(drg, "base", "label", "lightgbm", budget=5, seed=3)
+            for _ in range(2)
+        ]
+        assert runs[0].accuracy == runs[1].accuracy
+        assert runs[0].n_joined_tables == runs[1].n_joined_tables
+        assert runs[0].n_features_used == runs[1].n_features_used
+
+    def test_run_mab_seeds_change_only_via_model(self, lake):
+        # Arm selection is deterministic given the pull history; the seed
+        # enters through sampling/model training, so the run completes
+        # and reports coherent accounting for any seed.
+        drg, __ = lake
+        result = run_mab(drg, "base", "label", "lightgbm", budget=4, seed=9)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.run_manifest.metrics["counters"]["mab.pulls"] <= 4

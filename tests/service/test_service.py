@@ -312,3 +312,62 @@ class TestConcurrencyUnderMutation:
             svc.drg.edge_fingerprint()
             == svc.index.rebuild().edge_fingerprint()
         )
+
+
+class TestAnytimeBudgets:
+    """Per-request anytime budgets (DESIGN.md §14, service scope)."""
+
+    def test_response_flags_clear_without_budget(self, service):
+        response = service.discover("base", "label")
+        assert response.budget_exhausted is False
+
+    def test_max_hops_override_returns_partial(self, service):
+        response = service.discover("base", "label", max_hops=1)
+        assert response.budget_exhausted
+        assert response.result.navigation.hops_executed <= 1
+        assert response.result.navigation.strategy == "ucb"
+
+    def test_budget_overrides_get_distinct_cache_keys(self, service):
+        full = service.discover("base", "label")
+        partial = service.discover("base", "label", max_hops=1)
+        assert not full.cache_hit and not partial.cache_hit
+        # Replays hit their own entries — the partial never shadows the
+        # full answer and vice versa.
+        assert service.discover("base", "label").cache_hit
+        again = service.discover("base", "label", max_hops=1)
+        assert again.cache_hit and again.budget_exhausted
+
+    def test_hop_budget_partials_are_cacheable(self, service):
+        cold = service.discover("base", "label", max_hops=1)
+        warm = service.discover("base", "label", max_hops=1)
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.result is cold.result
+
+    def test_wall_clock_partials_are_not_cached(self, service):
+        first = service.discover("base", "label", budget_seconds=1e-9)
+        second = service.discover("base", "label", budget_seconds=1e-9)
+        assert first.budget_exhausted and second.budget_exhausted
+        assert not first.cache_hit and not second.cache_hit
+
+    def test_invalid_budget_rejected_at_submit(self, service):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="budget_seconds"):
+            service.submit("discover", "base", "label", budget_seconds=-1.0)
+        with pytest.raises(ConfigError, match="max_hops"):
+            service.submit("discover", "base", "label", max_hops=-2)
+
+    def test_budget_exhausted_counter_increments(self, service):
+        before = service.registry.counter(
+            "service.requests_budget_exhausted"
+        ).value
+        service.discover("base", "label", max_hops=0)
+        after = service.registry.counter(
+            "service.requests_budget_exhausted"
+        ).value
+        assert after == before + 1
+
+    def test_augment_budget_propagates(self, service):
+        response = service.augment("base", "label", budget_seconds=1e-9)
+        assert response.budget_exhausted
+        assert response.result.trained == ()
