@@ -1,4 +1,4 @@
-.PHONY: check test test-faults test-parallel test-service test-chunked test-anytime trace-smoke bench-engine bench-selection bench-parallel bench-service bench-chunked bench-anytime
+.PHONY: check test test-faults test-parallel test-service test-chunked test-anytime test-exp trace-smoke exp-smoke bench-engine bench-selection bench-parallel bench-service bench-chunked bench-anytime
 
 # Fault-isolation fast gate + tier-1 tests + engine-cache and
 # selection-kernel micro-benches (smoke mode).
@@ -54,6 +54,18 @@ test-anytime:
 # chrome-trace export, obs CLI, and the <2% no-op tracer overhead gate.
 trace-smoke:
 	PYTHONPATH=src python scripts/trace_smoke.py
+
+# Fast gate: experiment-orchestration suites (spec validation/fingerprints,
+# append-only store + queries, resumable runner + failure isolation,
+# regression detector + reports, bench CLI/reporting satellites).
+test-exp:
+	PYTHONPATH=src python -m pytest -q tests/exp tests/bench
+
+# End-to-end experiment-orchestration smoke: runs experiments/smoke.json
+# against a scratch store (2 baseline sweeps, clean diff gate, kill/resume
+# with exact fingerprint counters, injected-slowdown regression flag).
+exp-smoke:
+	scripts/exp_smoke.sh
 
 # Full engine-cache benchmark (several lakes); writes BENCH_engine_cache.json.
 bench-engine:

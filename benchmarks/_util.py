@@ -6,14 +6,23 @@ pytest's output capture (EXPERIMENTS.md is written from these files).
 Every ``BENCH_*.json`` summary also embeds the run manifests of the runs
 behind its figures, so a summary certifies *how* its numbers were
 produced (config, seed, dataset fingerprint, per-stage timings).
+
+The manifest/summary gates themselves live in
+:mod:`repro.bench.manifests` (shared with the harness and the experiment
+store); this module re-exports them for the ``bench_*`` scripts plus the
+benchmark-only output helpers.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
-from repro.obs import validate_manifest
+from repro.bench.manifests import (  # noqa: F401  (re-exported for bench_* scripts)
+    assert_no_failures,
+    manifest_problems,
+    require_valid_manifest,
+    write_summary,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -23,79 +32,6 @@ def emit(name: str, text: str) -> None:
     print(f"\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-
-
-def _check_manifest(manifest) -> None:
-    """Refuse a figure whose run manifest is missing or broken.
-
-    A ``BENCH_*.json`` row without per-stage timings — or with a negative
-    one — means the observability layer was bypassed or mis-assembled;
-    figures must not be published from such runs.
-    """
-    if manifest is None:
-        raise AssertionError(
-            "benchmark run carries no run_manifest; figures must record "
-            "per-stage timings"
-        )
-    errors = validate_manifest(manifest.as_dict())
-    if errors:
-        raise AssertionError(
-            f"benchmark run manifest is invalid: {'; '.join(errors)}"
-        )
-    stages = manifest.stage_seconds()
-    if not stages:
-        raise AssertionError("benchmark run manifest has no stage timings")
-    negative = {name: s for name, s in stages.items() if s < 0}
-    if negative:
-        raise AssertionError(
-            f"benchmark run manifest has negative stage timings: {negative}"
-        )
-
-
-def assert_no_failures(*results) -> None:
-    """Fail loudly when a benchmark run degraded instead of completing.
-
-    Under the default ``skip_and_record`` policy a run that hits join
-    failures still returns — with paths silently missing from its numbers.
-    Benchmark figures must come from complete runs, so every result's
-    ``failure_report`` (and, for AutoFeat results, the discovery-phase
-    report underneath) must be empty.  Results that carry a
-    ``run_manifest`` must additionally carry valid, non-negative per-stage
-    timings in it.
-    """
-    for result in results:
-        if result is None:
-            continue
-        reports = []
-        report = getattr(result, "failure_report", None)
-        if report is not None:
-            reports.append(report)
-        discovery = getattr(result, "discovery", None)
-        if discovery is not None:
-            inner = getattr(discovery, "failure_report", None)
-            if inner is not None:
-                reports.append(inner)
-        for report in reports:
-            if not report.ok:
-                raise AssertionError(
-                    f"benchmark run recorded failures: {report.describe()}"
-                )
-        if hasattr(result, "run_manifest"):
-            _check_manifest(result.run_manifest)
-
-
-def write_summary(path: Path, summary: dict, manifests=()) -> None:
-    """Write one ``BENCH_*.json`` with the runs' manifests embedded.
-
-    Every manifest is re-validated on the way out, so a summary file with
-    missing or negative stage timings can never be produced.
-    """
-    manifests = [m for m in manifests if m is not None]
-    for manifest in manifests:
-        _check_manifest(manifest)
-    summary = dict(summary)
-    summary["run_manifests"] = [m.as_dict() for m in manifests]
-    path.write_text(json.dumps(summary, indent=2) + "\n")
 
 
 def run_once(benchmark, fn):

@@ -57,6 +57,15 @@ python -m pytest -q tests/obs
 python scripts/trace_smoke.py
 
 echo
+echo "== experiment-orchestration fast gate =="
+# Spec/store/runner/report suites plus the end-to-end smoke matrix
+# (experiments/smoke.json against a scratch store): two baseline sweeps,
+# a clean regression diff, kill/resume with exact fingerprint counters,
+# and an injected hop slowdown that must trip `diff --gate`.
+python -m pytest -q tests/exp tests/bench
+scripts/exp_smoke.sh
+
+echo
 echo "== tier-1 tests =="
 python -m pytest -x -q
 

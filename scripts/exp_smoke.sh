@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# End-to-end gate for the experiment-orchestration subsystem: runs the
+# checked-in experiments/smoke.json matrix (2 datasets x 2 configs x
+# 2 seeds) against a scratch store, twice to establish baselines, then
+# verifies the three contracts scripts/check.sh gates every PR on:
+#
+#   1. a clean re-run passes the regression diff;
+#   2. a killed sweep (--max-trials 3) resumes with exactly the 5
+#      incomplete trials re-executed (fingerprint-counted in the store);
+#   3. an injected per-hop slowdown (>=2x on the join stages, excluded
+#      from trial fingerprints) is flagged by `diff --gate`.
+#
+# The scratch store keeps CI from dirtying the committed store index.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+SPEC=experiments/smoke.json
+SCRATCH="$(mktemp -d)"
+STORE="$SCRATCH/store"
+RESUME_STORE="$SCRATCH/resume-store"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+echo "-- baseline runs (x2) --"
+python -m repro.exp run "$SPEC" --store "$STORE" > /dev/null
+python -m repro.exp run "$SPEC" --store "$STORE" > /dev/null
+
+echo "-- clean re-run must pass the gate --"
+python -m repro.exp diff "$SPEC" --store "$STORE" --gate
+
+echo "-- kill/resume: 3 trials into a fresh store, then resume the remaining 5 --"
+python -m repro.exp run "$SPEC" --store "$RESUME_STORE" --max-trials 3 \
+    --run-id exp-smoke-partial > /dev/null
+python -m repro.exp resume "$SPEC" --store "$RESUME_STORE" --run-id exp-smoke-resumed \
+    --expect-executed 5 > /dev/null
+
+echo "-- injected 2x+ hop slowdown must be flagged --"
+python -m repro.exp run "$SPEC" --store "$STORE" --inject-hop-latency 0.05 \
+    --run-id exp-smoke-slow > /dev/null
+if python -m repro.exp diff "$SPEC" --store "$STORE" --run-id exp-smoke-slow --gate > /dev/null; then
+    echo "ERROR: injected slowdown was not flagged as a regression" >&2
+    exit 1
+fi
+
+echo "exp smoke ok"

@@ -2,15 +2,18 @@
 
 Regenerates a single paper artefact without going through pytest::
 
+    python -m repro.bench                # list available experiments
     python -m repro.bench table2
-    python -m repro.bench fig4 --full
-    python -m repro.bench list
+    python -m repro.bench fig4 --full --seed 7
+    python -m repro.bench eq3 --out benchmarks/results/eq3.txt
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
+from pathlib import Path
 
 from .experiments import (
     fig3a_relevance_comparison,
@@ -35,20 +38,20 @@ from .reporting import format_table
 
 EXPERIMENTS = {
     "table2": ("Table II dataset overview", lambda p: table2_overview()),
-    "fig3a": ("Figure 3a relevance metrics", lambda p: fig3a_relevance_comparison()),
-    "fig3b": ("Figure 3b redundancy methods", lambda p: fig3b_redundancy_comparison()),
+    "fig3a": ("Figure 3a relevance metrics", lambda p: fig3a_relevance_comparison(seed=p.seed)),
+    "fig3b": ("Figure 3b redundancy methods", lambda p: fig3b_redundancy_comparison(seed=p.seed)),
     "fig4": ("Figure 4 benchmark setting", fig4_benchmark_setting),
     "fig5": ("Figure 5 non-tree benchmark", fig5_nontree_benchmark),
     "fig6": ("Figure 6 data-lake setting", fig6_datalake_setting),
     "fig7": ("Figure 7 non-tree data lake", fig7_nontree_datalake),
-    "fig8a": ("Figure 8a kappa sensitivity", lambda p: fig8_kappa_sensitivity()),
-    "fig8b": ("Figure 8b-d tau sensitivity", lambda p: fig8_tau_sensitivity()),
-    "fig9": ("Figure 9 ablation study", lambda p: fig9_ablation()),
+    "fig8a": ("Figure 8a kappa sensitivity", lambda p: fig8_kappa_sensitivity(seed=p.seed)),
+    "fig8b": ("Figure 8b-d tau sensitivity", lambda p: fig8_tau_sensitivity(seed=p.seed)),
+    "fig9": ("Figure 9 ablation study", lambda p: fig9_ablation(seed=p.seed)),
     "eq3": ("Equation 3 JoinAll explosion", lambda p: joinall_explosion()),
-    "traversal": ("BFS vs DFS ablation", lambda p: traversal_ablation()),
-    "multigraph": ("multigraph vs simple DRG", lambda p: multigraph_ablation()),
-    "matchers": ("discovery matcher comparison", lambda p: matcher_comparison()),
-    "streaming": ("streaming selector comparison", lambda p: streaming_selector_comparison()),
+    "traversal": ("BFS vs DFS ablation", lambda p: traversal_ablation(seed=p.seed)),
+    "multigraph": ("multigraph vs simple DRG", lambda p: multigraph_ablation(seed=p.seed)),
+    "matchers": ("discovery matcher comparison", lambda p: matcher_comparison(seed=p.seed)),
+    "streaming": ("streaming selector comparison", lambda p: streaming_selector_comparison(seed=p.seed)),
 }
 
 
@@ -61,6 +64,13 @@ def _run_headline(profile: BenchProfile) -> list[dict]:
 EXPERIMENTS["headline"] = ("Section VII headline summary", _run_headline)
 
 
+def _list_experiments() -> str:
+    rows = [
+        {"id": key, "artefact": meta[0]} for key, meta in sorted(EXPERIMENTS.items())
+    ]
+    return format_table(rows, title="available experiments")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -68,28 +78,47 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
+        default=None,
         choices=sorted(EXPERIMENTS) + ["list"],
-        help="experiment id (or 'list' to enumerate)",
+        help="experiment id (omit or 'list' to enumerate)",
     )
     parser.add_argument(
         "--full",
         action="store_true",
         help="use the full Table II matrix instead of the quick profile",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="determinism seed for the run (default: the profile's, 1)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the rendered table to this file",
+    )
     args = parser.parse_args(argv)
 
-    if args.experiment == "list":
-        rows = [
-            {"id": key, "artefact": meta[0]} for key, meta in sorted(EXPERIMENTS.items())
-        ]
-        print(format_table(rows, title="available experiments"))
+    if args.experiment in (None, "list"):
+        print(_list_experiments())
         return 0
 
     profile = BenchProfile.full() if args.full else BenchProfile.quick()
+    if args.seed is not None:
+        profile = replace(profile, seed=args.seed)
     title, runner = EXPERIMENTS[args.experiment]
     rows = runner(profile)
+    text = format_table(rows, title=title)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
     try:
-        print(format_table(rows, title=title))
+        print(text)
+        if args.out is not None:
+            print(f"table -> {args.out}")
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an error for a CLI.
         return 0

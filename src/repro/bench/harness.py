@@ -23,7 +23,7 @@ from ..core import AutoFeatConfig
 from ..datasets import LakeBundle, benchmark_drg, build_dataset, datalake_drg, dataset_names
 from ..errors import JoinError
 from ..graph import DatasetRelationGraph
-from ..obs import validate_manifest
+from .manifests import require_valid_manifest
 
 __all__ = ["BenchProfile", "compare_methods", "build_setting", "ALL_METHODS"]
 
@@ -160,22 +160,9 @@ def compare_methods(
                         f"failures: {report.describe()}"
                     )
                 manifest = result.run_manifest
-                if manifest is None:
-                    raise AssertionError(
-                        f"{method} on {dataset!r} ({model}) carries no run "
-                        f"manifest; figures must record per-stage timings"
-                    )
-                errors = validate_manifest(manifest.as_dict())
-                negative = {
-                    name: s
-                    for name, s in manifest.stage_seconds().items()
-                    if s < 0
-                }
-                if errors or negative:
-                    raise AssertionError(
-                        f"{method} on {dataset!r} ({model}) has a broken "
-                        f"run manifest: {errors or negative}"
-                    )
+                require_valid_manifest(
+                    manifest, context=f"{method} on {dataset!r} ({model})"
+                )
                 row = result.row()
                 row["dataset"] = dataset
                 row["setting"] = setting

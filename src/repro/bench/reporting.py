@@ -22,15 +22,26 @@ def format_table(
     columns: Sequence[str] | None = None,
     title: str = "",
 ) -> str:
-    """Render dict rows as an aligned ASCII table."""
-    if not rows:
+    """Render dict rows as an aligned ASCII table.
+
+    Rows need not be homogeneous: with ``columns=None`` the header is the
+    union of every row's keys in first-seen order, missing cells render
+    empty, and non-numeric cells are stringified.  An empty row list with
+    explicit ``columns`` still renders the header (plus ``(no rows)``).
+    """
+    if not rows and columns is None:
         return f"{title}\n(no rows)" if title else "(no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
     header = [str(c) for c in columns]
     body = [[_cell(row.get(c, "")) for c in columns] for row in rows]
     widths = [
-        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))
+        max([len(header[i])] + [len(r[i]) for r in body])
+        for i in range(len(header))
     ]
     lines = []
     if title:
@@ -39,6 +50,8 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     for row in body:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if not rows:
+        lines.append("(no rows)")
     return "\n".join(lines)
 
 

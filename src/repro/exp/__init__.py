@@ -1,0 +1,64 @@
+"""Experiment orchestration: declarative trial matrices, resumable
+execution, an append-only results store and per-PR regression gating.
+
+The data flow (DESIGN.md §15)::
+
+    spec file (JSON/TOML)          experiments/smoke.json
+        │  ExperimentSpec.from_file — schema + semantic validation
+        ▼
+    TrialSpec matrix               datasets × configs × seeds (× models)
+        │  run_experiment — process pool, faults policies, resume
+        ▼
+    ResultsStore                   benchmarks/results/store/index.jsonl
+        │  detect_regressions / render_*_report
+        ▼
+    text/HTML trends + gate        python -m repro.exp report / diff
+
+``python -m repro.exp`` is the command-line face (``run`` / ``resume`` /
+``report`` / ``diff``); ``scripts/exp_smoke.sh`` wires the checked-in
+``experiments/smoke.json`` matrix into every PR's ``scripts/check.sh``.
+"""
+
+from .errors import SpecError, StoreError, TrialFailed
+from .report import (
+    Regression,
+    detect_regressions,
+    render_html_report,
+    render_text_report,
+    trial_history,
+    write_html_report,
+)
+from .runner import ExperimentRunResult, new_run_id, run_experiment
+from .spec import (
+    SPEC_SCHEMA,
+    ConfigVariant,
+    ExperimentSpec,
+    RegressionPolicy,
+    TrialSpec,
+    validate_spec,
+)
+from .store import DEFAULT_STORE_ROOT, ResultsStore, TrialRecord
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "ConfigVariant",
+    "DEFAULT_STORE_ROOT",
+    "ExperimentRunResult",
+    "ExperimentSpec",
+    "Regression",
+    "RegressionPolicy",
+    "ResultsStore",
+    "SpecError",
+    "StoreError",
+    "TrialFailed",
+    "TrialRecord",
+    "TrialSpec",
+    "detect_regressions",
+    "new_run_id",
+    "render_html_report",
+    "render_text_report",
+    "run_experiment",
+    "trial_history",
+    "validate_spec",
+    "write_html_report",
+]

@@ -1,0 +1,177 @@
+"""Experiment orchestration CLI: ``python -m repro.exp <command>``.
+
+::
+
+    python -m repro.exp run experiments/smoke.json --workers 2
+    python -m repro.exp resume experiments/smoke.json
+    python -m repro.exp report experiments/smoke.json --html report.html
+    python -m repro.exp diff experiments/smoke.json --gate
+
+``run`` executes the spec's full matrix; ``resume`` skips every trial
+already complete in the store (the post-kill workflow); ``report``
+renders per-trial timing/accuracy trends; ``diff`` compares the latest
+(or ``--run-id``) run against its baselines and exits 1 on regressions —
+the per-PR gate ``scripts/check.sh`` runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .errors import SpecError, TrialFailed
+from .report import detect_regressions, render_text_report, write_html_report
+from .runner import run_experiment
+from .spec import ExperimentSpec
+from .store import DEFAULT_STORE_ROOT, ResultsStore
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("spec", help="experiment spec file (.json or .toml)")
+    parser.add_argument(
+        "--store",
+        default=str(DEFAULT_STORE_ROOT),
+        help="results store directory (default: benchmarks/results/store)",
+    )
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None, help="worker processes (0 = inline)")
+    parser.add_argument("--run-id", default=None, help="explicit run id (default: timestamped)")
+    parser.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        help="stop after this many trials (simulates a mid-sweep kill)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-trial timeout seconds (default: the spec's)",
+    )
+    parser.add_argument(
+        "--inject-hop-latency",
+        type=float,
+        default=0.0,
+        help="add per-hop engine latency (s) without changing trial "
+        "fingerprints — for exercising the regression gate",
+    )
+    parser.add_argument(
+        "--expect-executed",
+        type=int,
+        default=None,
+        help="fail unless exactly this many trials executed (CI assertion)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exp",
+        description="Declare, run, resume and gate experiment trial matrices.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute the spec's full trial matrix")
+    _add_common(run)
+    _add_run_flags(run)
+
+    resume = sub.add_parser(
+        "resume", help="execute only the trials without a completed record"
+    )
+    _add_common(resume)
+    _add_run_flags(resume)
+
+    report = sub.add_parser("report", help="render per-trial trend report")
+    _add_common(report)
+    report.add_argument("--last", type=int, default=8, help="runs shown per trial")
+    report.add_argument("--html", default=None, help="also write a standalone HTML report here")
+
+    diff = sub.add_parser(
+        "diff", help="compare a run against its baselines; exit 1 on regressions"
+    )
+    _add_common(diff)
+    diff.add_argument("--run-id", default=None, help="run to gate (default: latest)")
+    diff.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when regressions are detected",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        spec = ExperimentSpec.from_file(args.spec)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = ResultsStore(Path(args.store))
+
+    if args.command in ("run", "resume"):
+        try:
+            result = run_experiment(
+                spec,
+                store,
+                resume=args.command == "resume",
+                run_id=args.run_id,
+                workers=args.workers,
+                max_trials=args.max_trials,
+                timeout_seconds=args.timeout,
+                inject_hop_latency=args.inject_hop_latency,
+                progress=print,
+            )
+        except TrialFailed as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(result.summary())
+        if not result.failure_report.ok:
+            print(f"failures: {result.failure_report.describe()}")
+        if (
+            args.expect_executed is not None
+            and result.n_executed != args.expect_executed
+        ):
+            print(
+                f"error: expected exactly {args.expect_executed} executed "
+                f"trials, got {result.n_executed}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0 if result.ok else 1
+
+    if args.command == "report":
+        if args.html:
+            path = write_html_report(
+                args.html, store, spec.name, last_runs=args.last, policy=spec.regression
+            )
+        try:
+            print(
+                render_text_report(
+                    store, spec.name, last_runs=args.last, policy=spec.regression
+                )
+            )
+            if args.html:
+                print(f"html report -> {path}")
+        except BrokenPipeError:
+            # Downstream pager/head closed the pipe; not an error for a CLI.
+            pass
+        return 0
+
+    # diff
+    findings = detect_regressions(
+        store, spec.name, run_id=args.run_id, policy=spec.regression
+    )
+    run_id = args.run_id or store.latest_run_id(spec.name)
+    if not findings:
+        print(f"diff: no regressions in run {run_id} [{spec.name}]")
+        return 0
+    print(f"diff: {len(findings)} regression(s) in run {run_id} [{spec.name}]:")
+    for finding in findings:
+        print(f"  {finding.describe()}")
+    return 1 if args.gate else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Typed errors of the experiment-orchestration subsystem."""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+__all__ = ["SpecError", "StoreError", "TrialFailed"]
+
+
+class SpecError(ReproError):
+    """An experiment spec file is unreadable, malformed or invalid."""
+
+
+class StoreError(ReproError):
+    """The results store is unreadable or rejected a record."""
+
+
+class TrialFailed(ReproError):
+    """One trial crashed, timed out or produced an unpublishable result.
+
+    Raised to the caller only under the ``fail_fast`` policy; the other
+    policies record it on the run's :class:`~repro.engine.FailureReport`
+    and keep the sweep going.
+    """

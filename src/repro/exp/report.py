@@ -1,0 +1,358 @@
+"""Trend reports and per-PR regression gating over the results store.
+
+Two consumers share this module:
+
+* ``python -m repro.exp report`` renders the per-trial history (text or
+  standalone HTML) — one table per trial fingerprint with the stage
+  timings and accuracy of its last N runs, so a slow drift is visible
+  before it trips the gate;
+* ``python -m repro.exp diff`` runs :func:`detect_regressions` — it lines
+  the target run's trials up against the same fingerprints in the
+  previous runs and flags what got slower, less accurate, or newly
+  broken — and exits non-zero, which is what ``scripts/check.sh`` gates
+  each PR on.
+
+Detection thresholds come from the spec's
+:class:`~repro.exp.spec.RegressionPolicy`: a stage regresses only when it
+exceeds the baseline mean both relatively (``slowdown_ratio``) and
+absolutely (``min_stage_delta_seconds``), so microsecond stages cannot
+trip the gate on scheduler noise; accuracy uses an absolute delta because
+same-seed runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..bench.reporting import format_table
+from .spec import RegressionPolicy
+from .store import ResultsStore, TrialRecord
+
+__all__ = [
+    "Regression",
+    "detect_regressions",
+    "trial_history",
+    "render_text_report",
+    "render_html_report",
+    "write_html_report",
+]
+
+#: Stage columns shown in trend tables (others still gate, just unlisted).
+HEADLINE_STAGES = ("discover", "selection", "train", "evaluate")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One detected regression of a trial versus its baseline runs."""
+
+    fingerprint: str
+    label: str
+    kind: str  # "stage_slowdown" | "accuracy_drop" | "new_failure"
+    stage: str
+    baseline: float
+    current: float
+    n_baselines: int
+    run_id: str
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline > 0 else float("inf")
+
+    def describe(self) -> str:
+        if self.kind == "stage_slowdown":
+            return (
+                f"{self.label}: stage '{self.stage}' {self.baseline:.3f}s -> "
+                f"{self.current:.3f}s ({self.ratio:.2f}x over {self.n_baselines} "
+                f"baseline run(s))"
+            )
+        if self.kind == "accuracy_drop":
+            return (
+                f"{self.label}: accuracy {self.baseline:.4f} -> "
+                f"{self.current:.4f} over {self.n_baselines} baseline run(s)"
+            )
+        return (
+            f"{self.label}: newly {self.stage or 'failing'} (was ok in "
+            f"{self.n_baselines} baseline run(s))"
+        )
+
+    def row(self) -> dict:
+        return {
+            "trial": self.label,
+            "kind": self.kind,
+            "stage": self.stage,
+            "baseline": round(self.baseline, 4),
+            "current": round(self.current, 4),
+            "ratio": round(self.ratio, 3) if self.baseline > 0 else None,
+            "baselines": self.n_baselines,
+        }
+
+
+def trial_history(
+    store: ResultsStore, experiment: str
+) -> dict[str, list[TrialRecord]]:
+    """Per-fingerprint record history in append (oldest-first) order."""
+    histories: dict[str, list[TrialRecord]] = {}
+    for record in store.query(experiment=experiment):
+        histories.setdefault(record.fingerprint, []).append(record)
+    return histories
+
+
+def _baselines_before(
+    history: list[TrialRecord], run_id: str, limit: int
+) -> list[TrialRecord]:
+    """The last ``limit`` ok records of earlier runs than ``run_id``.
+
+    "Earlier" is store-append order, which is run start order for the
+    sequential per-PR usage this gates.
+    """
+    earlier: list[TrialRecord] = []
+    for record in history:
+        if record.run_id == run_id:
+            break
+        if record.ok:
+            earlier.append(record)
+    return earlier[-limit:]
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+def detect_regressions(
+    store: ResultsStore,
+    experiment: str,
+    *,
+    run_id: str | None = None,
+    policy: RegressionPolicy | None = None,
+) -> list[Regression]:
+    """Regressions of ``run_id`` (default: the latest run) vs its baselines.
+
+    Trials with no earlier ok record are skipped — the first run of a new
+    matrix establishes baselines instead of gating against nothing.
+    """
+    policy = policy or RegressionPolicy()
+    run_id = run_id or store.latest_run_id(experiment)
+    if run_id is None:
+        return []
+    findings: list[Regression] = []
+    for fingerprint, history in sorted(trial_history(store, experiment).items()):
+        current = [r for r in history if r.run_id == run_id]
+        if not current:
+            continue
+        record = current[-1]
+        label = (
+            f"{record.dataset}/{record.config_name}/{record.model}/"
+            f"seed{record.seed}"
+        )
+        baselines = _baselines_before(history, run_id, policy.baseline_runs)
+        if not baselines:
+            continue
+        if not record.ok:
+            findings.append(
+                Regression(
+                    fingerprint=fingerprint,
+                    label=label,
+                    kind="new_failure",
+                    stage=record.status,
+                    baseline=0.0,
+                    current=0.0,
+                    n_baselines=len(baselines),
+                    run_id=run_id,
+                )
+            )
+            continue
+        for stage, seconds in sorted(record.stage_seconds.items()):
+            history_values = [
+                b.stage_seconds[stage]
+                for b in baselines
+                if stage in b.stage_seconds
+            ]
+            if not history_values:
+                continue
+            base = _mean(history_values)
+            if (
+                seconds > base * policy.slowdown_ratio
+                and seconds - base > policy.min_stage_delta_seconds
+            ):
+                findings.append(
+                    Regression(
+                        fingerprint=fingerprint,
+                        label=label,
+                        kind="stage_slowdown",
+                        stage=stage,
+                        baseline=base,
+                        current=seconds,
+                        n_baselines=len(history_values),
+                        run_id=run_id,
+                    )
+                )
+        accuracies = [b.accuracy for b in baselines if b.accuracy is not None]
+        if accuracies and record.accuracy is not None:
+            base_acc = _mean(accuracies)
+            if base_acc - record.accuracy > policy.accuracy_drop:
+                findings.append(
+                    Regression(
+                        fingerprint=fingerprint,
+                        label=label,
+                        kind="accuracy_drop",
+                        stage="",
+                        baseline=base_acc,
+                        current=record.accuracy,
+                        n_baselines=len(accuracies),
+                        run_id=run_id,
+                    )
+                )
+    return findings
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _history_rows(history: list[TrialRecord], last_runs: int) -> list[dict]:
+    rows = []
+    for record in history[-last_runs:]:
+        row = {
+            "run": record.run_id,
+            "rev": record.git_rev[:8],
+            "status": record.status,
+            "accuracy": record.accuracy,
+            "wall_s": round(record.wall_seconds, 3),
+        }
+        for stage in HEADLINE_STAGES:
+            if stage in record.stage_seconds:
+                row[stage] = round(record.stage_seconds[stage], 3)
+        rows.append(row)
+    return rows
+
+
+def render_text_report(
+    store: ResultsStore,
+    experiment: str,
+    *,
+    last_runs: int = 8,
+    policy: RegressionPolicy | None = None,
+) -> str:
+    """Per-trial trend tables plus the latest run's regression verdict."""
+    histories = trial_history(store, experiment)
+    if not histories:
+        return f"experiment {experiment!r}: no stored trials"
+    sections = [store.describe(), ""]
+    for fingerprint, history in sorted(
+        histories.items(), key=lambda kv: kv[1][0].dataset
+    ):
+        head = history[0]
+        title = (
+            f"{head.dataset}/{head.setting}/{head.method}/{head.model}/"
+            f"{head.config_name}/seed{head.seed}  [{fingerprint}]"
+        )
+        sections.append(format_table(_history_rows(history, last_runs), title=title))
+        sections.append("")
+    findings = detect_regressions(store, experiment, policy=policy)
+    if findings:
+        sections.append(
+            format_table(
+                [f.row() for f in findings],
+                title=f"REGRESSIONS in run {findings[0].run_id}",
+            )
+        )
+    else:
+        sections.append(
+            f"no regressions in latest run ({store.latest_run_id(experiment)})"
+        )
+    return "\n".join(sections)
+
+
+_HTML_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2rem;
+       color: #1a1a1a; background: #fbfbfb; }
+h1 { font-size: 1.3rem; }  h2 { font-size: 1.0rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .5rem 0; font-size: .85rem; }
+th, td { border: 1px solid #ccc; padding: .25rem .6rem; text-align: right; }
+th { background: #eee; }  td.l, th.l { text-align: left; }
+tr.regression td { background: #ffe3e3; }
+.ok { color: #0a7d32; } .bad { color: #b3261e; font-weight: bold; }
+"""
+
+
+def _html_table(rows: list[dict], highlight=None) -> str:
+    if not rows:
+        return "<p>(no rows)</p>"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    out = ["<table><tr>"]
+    for col in columns:
+        out.append(f'<th class="l">{html.escape(str(col))}</th>')
+    out.append("</tr>")
+    for row in rows:
+        cls = ' class="regression"' if highlight and highlight(row) else ""
+        out.append(f"<tr{cls}>")
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                value = f"{value:.4f}"
+            out.append(f"<td>{html.escape(str(value))}</td>")
+        out.append("</tr>")
+    out.append("</table>")
+    return "".join(out)
+
+
+def render_html_report(
+    store: ResultsStore,
+    experiment: str,
+    *,
+    last_runs: int = 8,
+    policy: RegressionPolicy | None = None,
+) -> str:
+    """Standalone HTML trend report (no external assets or scripts)."""
+    histories = trial_history(store, experiment)
+    findings = detect_regressions(store, experiment, policy=policy)
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>experiment {html.escape(experiment)}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>Experiment <code>{html.escape(experiment)}</code></h1>",
+        f"<p>{html.escape(store.describe())}</p>",
+    ]
+    if findings:
+        parts.append(
+            f'<p class="bad">{len(findings)} regression(s) in run '
+            f"{html.escape(findings[0].run_id)}</p>"
+        )
+        parts.append(_html_table([f.row() for f in findings], highlight=lambda r: True))
+    else:
+        latest = store.latest_run_id(experiment) or "-"
+        parts.append(
+            f'<p class="ok">no regressions in latest run '
+            f"({html.escape(latest)})</p>"
+        )
+    regressed = {(f.fingerprint, f.run_id) for f in findings}
+    for fingerprint, history in sorted(
+        histories.items(), key=lambda kv: kv[1][0].dataset
+    ):
+        head = history[0]
+        parts.append(
+            f"<h2>{html.escape(head.dataset)}/{html.escape(head.setting)}/"
+            f"{html.escape(head.method)}/{html.escape(head.model)}/"
+            f"{html.escape(head.config_name)}/seed{head.seed} "
+            f"<code>[{html.escape(fingerprint)}]</code></h2>"
+        )
+        rows = _history_rows(history, last_runs)
+        runs_regressed = {
+            run for fp, run in regressed if fp == fingerprint
+        }
+        parts.append(
+            _html_table(rows, highlight=lambda r: r.get("run") in runs_regressed)
+        )
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_html_report(path, store: ResultsStore, experiment: str, **kwargs) -> Path:
+    path = Path(path)
+    path.write_text(render_html_report(store, experiment, **kwargs))
+    return path

@@ -1,0 +1,277 @@
+"""Append-only results store for experiment trials.
+
+Layout under the store root (``benchmarks/results/store/`` by default)::
+
+    index.jsonl                       # one JSON line per completed trial
+    trials/<fingerprint>/<run_id>.manifest.json   # the trial's RunManifest
+
+The **index** is the source of truth: every line is a serialised
+:class:`TrialRecord` (trial identity + status + headline numbers + stage
+timings), appended as each trial finishes so a killed sweep keeps every
+trial it completed.  Records are never rewritten — a re-run of the same
+fingerprint appends a new record under a new ``run_id``, which is exactly
+the per-trial history the regression detector walks.
+
+Manifests are stored whole but out of line (one file per trial × run) so
+the index stays cheap to scan; :meth:`ResultsStore.load_manifest` brings
+one back on demand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..bench.manifests import manifest_problems
+from .errors import StoreError
+
+__all__ = ["TrialRecord", "ResultsStore", "DEFAULT_STORE_ROOT"]
+
+#: Store location used by the CLI when ``--store`` is not given.
+DEFAULT_STORE_ROOT = (
+    Path(__file__).resolve().parents[3] / "benchmarks" / "results" / "store"
+)
+
+#: Statuses a stored trial can carry.
+TRIAL_STATUSES = ("ok", "failed", "timeout", "infeasible")
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One index line: a trial's identity, outcome and headline numbers."""
+
+    fingerprint: str
+    run_id: str
+    experiment: str
+    dataset: str
+    setting: str
+    method: str
+    model: str
+    config_name: str
+    config_hash: str
+    seed: int
+    status: str
+    git_rev: str = ""
+    created_at: str = ""
+    created_unix: float = 0.0
+    wall_seconds: float = 0.0
+    accuracy: float | None = None
+    stage_seconds: dict = field(default_factory=dict)
+    error_kind: str = ""
+    error: str = ""
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def as_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "run_id": self.run_id,
+            "experiment": self.experiment,
+            "dataset": self.dataset,
+            "setting": self.setting,
+            "method": self.method,
+            "model": self.model,
+            "config_name": self.config_name,
+            "config_hash": self.config_hash,
+            "seed": self.seed,
+            "status": self.status,
+            "git_rev": self.git_rev,
+            "created_at": self.created_at,
+            "created_unix": self.created_unix,
+            "wall_seconds": self.wall_seconds,
+            "accuracy": self.accuracy,
+            "stage_seconds": dict(self.stage_seconds),
+            "error_kind": self.error_kind,
+            "error": self.error,
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialRecord":
+        return cls(
+            fingerprint=data["fingerprint"],
+            run_id=data["run_id"],
+            experiment=data["experiment"],
+            dataset=data["dataset"],
+            setting=data.get("setting", "benchmark"),
+            method=data.get("method", "AutoFeat"),
+            model=data.get("model", ""),
+            config_name=data.get("config_name", ""),
+            config_hash=data.get("config_hash", ""),
+            seed=int(data.get("seed", 0)),
+            status=data.get("status", "failed"),
+            git_rev=data.get("git_rev", ""),
+            created_at=data.get("created_at", ""),
+            created_unix=float(data.get("created_unix", 0.0)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            accuracy=data.get("accuracy"),
+            stage_seconds=dict(data.get("stage_seconds", {})),
+            error_kind=data.get("error_kind", ""),
+            error=data.get("error", ""),
+            retries=int(data.get("retries", 0)),
+        )
+
+
+class ResultsStore:
+    """Append-only trial store with a query API over the index.
+
+    The store tolerates a torn final line (a run killed mid-append):
+    unparseable lines are skipped on read and counted on
+    :attr:`corrupt_lines`, never propagated.
+    """
+
+    def __init__(self, root: Path | str = DEFAULT_STORE_ROOT):
+        self.root = Path(root)
+        self.index_path = self.root / "index.jsonl"
+        self.trials_dir = self.root / "trials"
+        self.corrupt_lines = 0
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, record: TrialRecord, manifest: dict | None = None) -> TrialRecord:
+        """Persist one finished trial: manifest file first, index line last.
+
+        The index line is the commit point — a crash between the two
+        leaves an orphan manifest file, never a dangling index entry.
+        ``ok`` records must carry a publishable manifest; failure records
+        carry none.
+        """
+        if record.status not in TRIAL_STATUSES:
+            raise StoreError(
+                f"unknown trial status {record.status!r}; "
+                f"expected one of {list(TRIAL_STATUSES)}"
+            )
+        if record.status == "ok":
+            problems = manifest_problems(manifest)
+            if problems:
+                raise StoreError(
+                    f"refusing to store trial {record.fingerprint} "
+                    f"({record.run_id}): {'; '.join(problems)}"
+                )
+        self.root.mkdir(parents=True, exist_ok=True)
+        if manifest is not None:
+            trial_dir = self.trials_dir / record.fingerprint
+            trial_dir.mkdir(parents=True, exist_ok=True)
+            manifest_path = trial_dir / f"{record.run_id}.manifest.json"
+            manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+        line = json.dumps(record.as_dict(), sort_keys=True)
+        with open(self.index_path, "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return record
+
+    # -- reading ------------------------------------------------------------
+
+    def records(self) -> list[TrialRecord]:
+        """Every index record in append order (corrupt lines skipped)."""
+        self.corrupt_lines = 0
+        if not self.index_path.is_file():
+            return []
+        out = []
+        for line in self.index_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(TrialRecord.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                self.corrupt_lines += 1
+        return out
+
+    def query(
+        self,
+        *,
+        experiment: str | None = None,
+        dataset: str | None = None,
+        config_hash: str | None = None,
+        config_name: str | None = None,
+        fingerprint: str | None = None,
+        run_id: str | None = None,
+        git_rev: str | None = None,
+        method: str | None = None,
+        model: str | None = None,
+        seed: int | None = None,
+        status: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[TrialRecord]:
+        """Index records matching every given filter, in append order.
+
+        ``since`` / ``until`` bound ``created_unix`` (inclusive), covering
+        the "what regressed this week" time-range queries.
+        """
+        out = []
+        for record in self.records():
+            if experiment is not None and record.experiment != experiment:
+                continue
+            if dataset is not None and record.dataset != dataset:
+                continue
+            if config_hash is not None and record.config_hash != config_hash:
+                continue
+            if config_name is not None and record.config_name != config_name:
+                continue
+            if fingerprint is not None and record.fingerprint != fingerprint:
+                continue
+            if run_id is not None and record.run_id != run_id:
+                continue
+            if git_rev is not None and record.git_rev != git_rev:
+                continue
+            if method is not None and record.method != method:
+                continue
+            if model is not None and record.model != model:
+                continue
+            if seed is not None and record.seed != seed:
+                continue
+            if status is not None and record.status != status:
+                continue
+            if since is not None and record.created_unix < since:
+                continue
+            if until is not None and record.created_unix > until:
+                continue
+            out.append(record)
+        return out
+
+    def completed_fingerprints(self, experiment: str | None = None) -> set[str]:
+        """Fingerprints with at least one ``ok`` record — the resume set."""
+        return {
+            r.fingerprint
+            for r in self.query(experiment=experiment, status="ok")
+        }
+
+    def run_ids(self, experiment: str | None = None) -> list[str]:
+        """Distinct run ids in first-appearance order (oldest first)."""
+        seen: list[str] = []
+        for record in self.query(experiment=experiment):
+            if record.run_id not in seen:
+                seen.append(record.run_id)
+        return seen
+
+    def latest_run_id(self, experiment: str | None = None) -> str | None:
+        ids = self.run_ids(experiment)
+        return ids[-1] if ids else None
+
+    def load_manifest(self, record: TrialRecord) -> dict | None:
+        """The stored RunManifest dict of one record (None when absent)."""
+        path = (
+            self.trials_dir
+            / record.fingerprint
+            / f"{record.run_id}.manifest.json"
+        )
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text())
+
+    def describe(self) -> str:
+        records = self.records()
+        ok = sum(1 for r in records if r.ok)
+        return (
+            f"store at {self.root}: {len(records)} records "
+            f"({ok} ok, {len(records) - ok} failed/timeout) across "
+            f"{len(self.run_ids())} runs"
+        )

@@ -30,3 +30,29 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["fig99"])
         assert excinfo.value.code == 2
+
+    def test_no_argument_lists_instead_of_erroring(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "available experiments" in out
+        assert "table2" in out
+
+    def test_seed_flag_replaces_profile_seed(self, monkeypatch, capsys):
+        seen = {}
+
+        def probe(profile):
+            seen["seed"] = profile.seed
+            return [{"ok": 1}]
+
+        monkeypatch.setitem(EXPERIMENTS, "table2", ("probe", probe))
+        assert main(["table2", "--seed", "7"]) == 0
+        assert seen["seed"] == 7
+        assert main(["table2"]) == 0
+        assert seen["seed"] == 1  # profile default when the flag is absent
+
+    def test_out_flag_writes_table(self, tmp_path, capsys):
+        out_path = tmp_path / "nested" / "eq3.txt"
+        assert main(["eq3", "--out", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "joinall_orderings" in out_path.read_text()
+        assert f"table -> {out_path}" in printed

@@ -41,6 +41,42 @@ class TestFormatTable:
         text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
         assert text  # renders without raising
 
+    def test_empty_with_explicit_columns_renders_header(self):
+        text = format_table([], columns=["a", "bb"])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert lines[-1] == "(no rows)"
+
+    def test_empty_with_title(self):
+        assert format_table([], title="T") == "T\n(no rows)"
+
+    def test_heterogeneous_rows_union_columns(self):
+        # Header is the union of keys in first-seen order; missing cells
+        # render empty instead of raising.
+        text = format_table([{"a": 1}, {"b": 2, "a": 3}, {"c": 4}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b", "c"]
+        assert lines[4].split() == ["4"]  # row {"c": 4}: a and b blank
+
+    def test_extra_keys_outside_columns_dropped(self):
+        text = format_table([{"a": 1, "noise": "zz"}], columns=["a"])
+        assert "zz" not in text
+        assert "noise" not in text
+
+    def test_non_numeric_cells_stringified(self):
+        rows = [{"v": None, "w": [1, 2], "x": True, "y": "s"}]
+        text = format_table(rows)
+        body = text.splitlines()[2]
+        assert "None" in body
+        assert "[1, 2]" in body
+        assert "True" in body
+
+    def test_wide_cell_sets_column_width(self):
+        text = format_table([{"a": "xxxxxxxxxx"}, {"a": 1}])
+        header, rule = text.splitlines()[:2]
+        assert len(rule) == 10
+        assert header.startswith("a")
+
 
 class TestSeriesAndSummaries:
     def test_series(self):

@@ -1,0 +1,66 @@
+"""Shared fixtures for the experiment-orchestration suites."""
+
+import pytest
+
+from repro.exp import ExperimentSpec, TrialRecord
+from repro.obs import build_manifest
+
+
+def spec_dict(**overrides) -> dict:
+    """A minimal valid spec dict (credit × 1 config × 2 seeds on knn)."""
+    data = {
+        "name": "unit",
+        "datasets": ["credit"],
+        "models": ["knn"],
+        "methods": ["AutoFeat"],
+        "configs": [
+            {"name": "default", "overrides": {"sample_size": 300, "top_k": 2}}
+        ],
+        "seeds": [1, 2],
+        "timeout_seconds": 120,
+        "failure_policy": "skip_and_record",
+        "workers": 0,
+    }
+    data.update(overrides)
+    return data
+
+
+def make_record(
+    fingerprint: str,
+    run_id: str,
+    *,
+    status: str = "ok",
+    stage_seconds: dict | None = None,
+    accuracy: float | None = 0.9,
+    seed: int = 1,
+    experiment: str = "unit",
+    created_unix: float = 0.0,
+) -> TrialRecord:
+    return TrialRecord(
+        fingerprint=fingerprint,
+        run_id=run_id,
+        experiment=experiment,
+        dataset="credit",
+        setting="benchmark",
+        method="AutoFeat",
+        model="knn",
+        config_name="default",
+        config_hash="cafe",
+        seed=seed,
+        status=status,
+        created_unix=created_unix,
+        wall_seconds=0.1,
+        accuracy=accuracy,
+        stage_seconds=dict(stage_seconds or {}),
+    )
+
+
+@pytest.fixture(scope="session")
+def valid_manifest() -> dict:
+    """A schema-valid manifest dict with a synthesised one-stage tree."""
+    return build_manifest("trial", wall_seconds=0.01, seed=1).as_dict()
+
+
+@pytest.fixture
+def unit_spec() -> ExperimentSpec:
+    return ExperimentSpec.from_dict(spec_dict())

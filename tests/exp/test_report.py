@@ -1,0 +1,171 @@
+"""Regression detection thresholds and report rendering."""
+
+import pytest
+
+from repro.exp import (
+    RegressionPolicy,
+    ResultsStore,
+    detect_regressions,
+    render_html_report,
+    render_text_report,
+    trial_history,
+    write_html_report,
+)
+
+from .conftest import make_record
+
+POLICY = RegressionPolicy(
+    baseline_runs=3,
+    slowdown_ratio=1.5,
+    min_stage_delta_seconds=0.25,
+    accuracy_drop=0.02,
+)
+
+
+@pytest.fixture
+def store(tmp_path, valid_manifest):
+    """Two clean baseline runs of one trial (discover=0.1s, acc=0.9)."""
+    store = ResultsStore(tmp_path)
+    for run in ("run-1", "run-2"):
+        store.append(
+            make_record("fp1", run, stage_seconds={"discover": 0.1}),
+            valid_manifest,
+        )
+    return store
+
+
+def append_current(store, valid_manifest, **kwargs):
+    kwargs.setdefault("stage_seconds", {"discover": 0.1})
+    record = make_record("fp1", "run-cur", **kwargs)
+    store.append(record, valid_manifest if record.status == "ok" else None)
+    return record
+
+
+class TestDetectRegressions:
+    def test_clean_run_passes(self, store, valid_manifest):
+        append_current(store, valid_manifest)
+        assert detect_regressions(store, "unit", policy=POLICY) == []
+
+    def test_flags_2x_slowdown(self, store, valid_manifest):
+        append_current(store, valid_manifest, stage_seconds={"discover": 0.5})
+        (finding,) = detect_regressions(store, "unit", policy=POLICY)
+        assert finding.kind == "stage_slowdown"
+        assert finding.stage == "discover"
+        assert finding.ratio == pytest.approx(5.0)
+        assert "discover" in finding.describe()
+
+    def test_absolute_floor_defeats_noise(self, store, valid_manifest):
+        # 3x relative but only +0.2s absolute: under the 0.25s floor.
+        append_current(store, valid_manifest, stage_seconds={"discover": 0.3})
+        assert detect_regressions(store, "unit", policy=POLICY) == []
+
+    def test_ratio_floor_defeats_slow_stage_noise(self, tmp_path, valid_manifest):
+        # +0.5s absolute but only 1.05x relative: under the 1.5x ratio.
+        store = ResultsStore(tmp_path)
+        for run in ("run-1", "run-2"):
+            store.append(
+                make_record("fp1", run, stage_seconds={"discover": 10.0}),
+                valid_manifest,
+            )
+        store.append(
+            make_record("fp1", "run-cur", stage_seconds={"discover": 10.5}),
+            valid_manifest,
+        )
+        assert detect_regressions(store, "unit", policy=POLICY) == []
+
+    def test_accuracy_drop(self, store, valid_manifest):
+        append_current(store, valid_manifest, accuracy=0.85)
+        findings = detect_regressions(store, "unit", policy=POLICY)
+        assert [f.kind for f in findings] == ["accuracy_drop"]
+        assert findings[0].current == pytest.approx(0.85)
+
+    def test_accuracy_within_threshold_passes(self, store, valid_manifest):
+        append_current(store, valid_manifest, accuracy=0.895)
+        assert detect_regressions(store, "unit", policy=POLICY) == []
+
+    def test_new_failure(self, store, valid_manifest):
+        append_current(store, valid_manifest, status="failed", accuracy=None)
+        (finding,) = detect_regressions(store, "unit", policy=POLICY)
+        assert finding.kind == "new_failure"
+        assert "newly failed" in finding.describe()
+
+    def test_first_run_establishes_baselines(self, tmp_path, valid_manifest):
+        store = ResultsStore(tmp_path)
+        store.append(
+            make_record("fp1", "run-1", stage_seconds={"discover": 9.0}),
+            valid_manifest,
+        )
+        assert detect_regressions(store, "unit", policy=POLICY) == []
+
+    def test_baseline_window_is_bounded(self, tmp_path, valid_manifest):
+        # Old slow history beyond the window must not mask a regression.
+        store = ResultsStore(tmp_path)
+        for i, seconds in enumerate((9.0, 0.1, 0.1, 0.1)):
+            store.append(
+                make_record(
+                    "fp1", f"run-{i}", stage_seconds={"discover": seconds}
+                ),
+                valid_manifest,
+            )
+        store.append(
+            make_record("fp1", "run-cur", stage_seconds={"discover": 0.5}),
+            valid_manifest,
+        )
+        (finding,) = detect_regressions(store, "unit", policy=POLICY)
+        assert finding.baseline == pytest.approx(0.1)
+        assert finding.n_baselines == 3
+
+    def test_explicit_run_id_ignores_later_runs(self, store, valid_manifest):
+        append_current(store, valid_manifest, stage_seconds={"discover": 0.5})
+        assert (
+            detect_regressions(store, "unit", run_id="run-2", policy=POLICY)
+            == []
+        )
+        assert detect_regressions(
+            store, "unit", run_id="run-cur", policy=POLICY
+        )
+
+    def test_empty_store(self, tmp_path):
+        assert detect_regressions(ResultsStore(tmp_path), "unit") == []
+
+
+class TestRendering:
+    def test_trial_history_groups_by_fingerprint(self, store):
+        histories = trial_history(store, "unit")
+        assert set(histories) == {"fp1"}
+        assert [r.run_id for r in histories["fp1"]] == ["run-1", "run-2"]
+
+    def test_text_report_clean(self, store, valid_manifest):
+        append_current(store, valid_manifest)
+        text = render_text_report(store, "unit", policy=POLICY)
+        assert "credit/benchmark/AutoFeat/knn/default/seed1  [fp1]" in text
+        assert "no regressions in latest run (run-cur)" in text
+
+    def test_text_report_with_regressions(self, store, valid_manifest):
+        append_current(store, valid_manifest, stage_seconds={"discover": 0.5})
+        text = render_text_report(store, "unit", policy=POLICY)
+        assert "REGRESSIONS in run run-cur" in text
+        assert "stage_slowdown" in text
+
+    def test_text_report_empty_store(self, tmp_path):
+        text = render_text_report(ResultsStore(tmp_path), "unit")
+        assert "no stored trials" in text
+
+    def test_html_report(self, store, valid_manifest):
+        append_current(store, valid_manifest, stage_seconds={"discover": 0.5})
+        html_text = render_html_report(store, "unit", policy=POLICY)
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "1 regression(s) in run run-cur" in html_text
+        assert 'class="regression"' in html_text
+
+    def test_html_report_clean(self, store, valid_manifest):
+        append_current(store, valid_manifest)
+        html_text = render_html_report(store, "unit", policy=POLICY)
+        assert "no regressions in latest run" in html_text
+        assert 'class="regression"' not in html_text
+
+    def test_write_html_report(self, store, valid_manifest, tmp_path):
+        append_current(store, valid_manifest)
+        out = write_html_report(tmp_path / "report.html", store, "unit")
+        assert out.is_file()
+        assert out.read_text().startswith("<!DOCTYPE html>")

@@ -1,0 +1,159 @@
+"""Append-only store: durability, validation gates and the query API."""
+
+import json
+
+import pytest
+
+from repro.exp import ResultsStore, StoreError, TrialRecord
+
+from .conftest import make_record
+
+
+class TestAppend:
+    def test_round_trip(self, tmp_path, valid_manifest):
+        store = ResultsStore(tmp_path)
+        record = make_record("fp1", "run-a")
+        store.append(record, valid_manifest)
+        (loaded,) = store.records()
+        assert loaded == record
+        assert loaded.ok
+
+    def test_ok_requires_manifest(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        with pytest.raises(StoreError, match="no run_manifest"):
+            store.append(make_record("fp1", "run-a"), None)
+        assert store.records() == []
+
+    def test_ok_requires_valid_manifest(self, tmp_path, valid_manifest):
+        store = ResultsStore(tmp_path)
+        broken = dict(valid_manifest, timing={})
+        with pytest.raises(StoreError):
+            store.append(make_record("fp1", "run-a"), broken)
+
+    def test_failure_records_carry_no_manifest(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        record = make_record("fp1", "run-a", status="failed", accuracy=None)
+        store.append(record, None)
+        (loaded,) = store.records()
+        assert loaded.status == "failed"
+        assert store.load_manifest(loaded) is None
+
+    def test_unknown_status_rejected(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        with pytest.raises(StoreError, match="unknown trial status"):
+            store.append(make_record("fp1", "run-a", status="meh"), None)
+
+    def test_append_only(self, tmp_path, valid_manifest):
+        store = ResultsStore(tmp_path)
+        store.append(make_record("fp1", "run-a"), valid_manifest)
+        store.append(make_record("fp1", "run-b"), valid_manifest)
+        assert [r.run_id for r in store.records()] == ["run-a", "run-b"]
+
+    def test_manifest_stored_out_of_line(self, tmp_path, valid_manifest):
+        store = ResultsStore(tmp_path)
+        record = store.append(make_record("fp1", "run-a"), valid_manifest)
+        path = tmp_path / "trials" / "fp1" / "run-a.manifest.json"
+        assert path.is_file()
+        assert store.load_manifest(record) == valid_manifest
+
+
+class TestCorruptionTolerance:
+    def test_torn_final_line_skipped(self, tmp_path, valid_manifest):
+        store = ResultsStore(tmp_path)
+        store.append(make_record("fp1", "run-a"), valid_manifest)
+        with open(store.index_path, "a") as fh:
+            fh.write('{"fingerprint": "fp2", "truncat')
+        assert len(store.records()) == 1
+        assert store.corrupt_lines == 1
+
+    def test_blank_lines_ignored(self, tmp_path, valid_manifest):
+        store = ResultsStore(tmp_path)
+        store.append(make_record("fp1", "run-a"), valid_manifest)
+        with open(store.index_path, "a") as fh:
+            fh.write("\n\n")
+        assert len(store.records()) == 1
+        assert store.corrupt_lines == 0
+
+    def test_missing_index_is_empty(self, tmp_path):
+        store = ResultsStore(tmp_path / "never-written")
+        assert store.records() == []
+        assert store.completed_fingerprints() == set()
+        assert store.latest_run_id() is None
+
+
+class TestQuery:
+    @pytest.fixture
+    def store(self, tmp_path, valid_manifest) -> ResultsStore:
+        store = ResultsStore(tmp_path)
+        store.append(
+            make_record("fp1", "run-a", seed=1, created_unix=100.0),
+            valid_manifest,
+        )
+        store.append(
+            make_record("fp2", "run-a", seed=2, created_unix=200.0),
+            valid_manifest,
+        )
+        store.append(
+            make_record(
+                "fp1",
+                "run-b",
+                status="timeout",
+                accuracy=None,
+                created_unix=300.0,
+            ),
+            None,
+        )
+        return store
+
+    def test_filter_by_identity(self, store):
+        assert len(store.query(dataset="credit")) == 3
+        assert len(store.query(dataset="steel")) == 0
+        assert [r.fingerprint for r in store.query(seed=2)] == ["fp2"]
+        assert len(store.query(fingerprint="fp1")) == 2
+        assert len(store.query(run_id="run-a")) == 2
+        assert len(store.query(config_hash="cafe")) == 3
+
+    def test_filter_by_status(self, store):
+        assert [r.run_id for r in store.query(status="timeout")] == ["run-b"]
+
+    def test_time_range(self, store):
+        assert len(store.query(since=150.0)) == 2
+        assert len(store.query(until=150.0)) == 1
+        assert [r.fingerprint for r in store.query(since=150.0, until=250.0)] == [
+            "fp2"
+        ]
+
+    def test_completed_fingerprints(self, store):
+        # fp1 timed out later but its earlier ok record still completes it.
+        assert store.completed_fingerprints() == {"fp1", "fp2"}
+        assert store.completed_fingerprints(experiment="other") == set()
+
+    def test_run_ids_first_appearance_order(self, store):
+        assert store.run_ids() == ["run-a", "run-b"]
+        assert store.latest_run_id() == "run-b"
+
+    def test_describe_mentions_counts(self, store):
+        text = store.describe()
+        assert "3 records" in text
+        assert "2 ok" in text
+        assert "2 runs" in text
+
+
+class TestRecordSerialisation:
+    def test_dict_round_trip(self):
+        record = make_record("fp1", "run-a", stage_seconds={"discover": 1.5})
+        again = TrialRecord.from_dict(json.loads(json.dumps(record.as_dict())))
+        assert again == record
+
+    def test_forward_compatible_defaults(self):
+        sparse = TrialRecord.from_dict(
+            {
+                "fingerprint": "fp",
+                "run_id": "r",
+                "experiment": "e",
+                "dataset": "credit",
+            }
+        )
+        assert sparse.status == "failed"
+        assert sparse.stage_seconds == {}
+        assert sparse.accuracy is None
