@@ -1,4 +1,4 @@
-.PHONY: check test test-faults test-parallel test-service test-chunked test-anytime test-exp trace-smoke exp-smoke bench-engine bench-selection bench-parallel bench-service bench-chunked bench-anytime
+.PHONY: check test test-faults test-parallel test-service test-chunked test-anytime test-exp test-sketch trace-smoke exp-smoke bench-engine bench-selection bench-parallel bench-service bench-chunked bench-anytime bench-sketch
 
 # Fault-isolation fast gate + tier-1 tests + engine-cache and
 # selection-kernel micro-benches (smoke mode).
@@ -61,6 +61,14 @@ trace-smoke:
 test-exp:
 	PYTHONPATH=src python -m pytest -q tests/exp tests/bench
 
+# Fast gate: sketch-index suites (banding validation, LSH candidate
+# index, filtered-matcher parity properties, containment-estimate
+# statistics) plus the sketch-index micro-bench in smoke mode
+# (bit-parity at recall 1.0, sub-quadratic pairs-scored growth).
+test-sketch:
+	PYTHONPATH=src python -m pytest -q tests/discovery -k "index or lsh"
+	PYTHONPATH=src python benchmarks/bench_sketch_index.py --smoke
+
 # End-to-end experiment-orchestration smoke: runs experiments/smoke.json
 # against a scratch store (2 baseline sweeps, clean diff gate, kill/resume
 # with exact fingerprint counters, injected-slowdown regression flag).
@@ -98,3 +106,9 @@ bench-chunked:
 # BENCH_anytime.json.
 bench-anytime:
 	PYTHONPATH=src python benchmarks/bench_anytime.py
+
+# Full sketch-index benchmark (paper-lake bit-parity for both exact
+# matchers, 100-2000-table wide-lake scaling; recall-, slope- and
+# >=5x-pruning-gated); writes BENCH_sketch_index.json.
+bench-sketch:
+	PYTHONPATH=src python benchmarks/bench_sketch_index.py

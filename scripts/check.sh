@@ -52,6 +52,15 @@ python -m pytest -q tests/core/test_anytime.py \
 python benchmarks/bench_anytime.py --smoke
 
 echo
+echo "== sketch-index fast gate =="
+# Sketch-index suites cover banding validation, the LSH candidate index
+# channels, filtered-vs-quadratic DRG parity properties and the
+# containment-estimate statistics; the smoke bench gates on paper-lake
+# bit-parity at recall 1.0 and sub-quadratic pairs-scored growth.
+python -m pytest -q tests/discovery -k "index or lsh"
+python benchmarks/bench_sketch_index.py --smoke
+
+echo
 echo "== observability fast gate =="
 python -m pytest -q tests/obs
 python scripts/trace_smoke.py

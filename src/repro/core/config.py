@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..discovery.profiles import MINHASH_PERMUTATIONS
 from ..engine.faults import (
     DEFAULT_ERROR_BUDGET,
     DEFAULT_MAX_RETRIES,
@@ -173,6 +174,25 @@ class AutoFeatConfig:
         results bit-identical to the reference traversal (DESIGN.md §14).
     frontier_exploration:
         UCB1 exploration constant of the ``"ucb"`` frontier strategy.
+    enable_sketch_index:
+        Route schema matching through the sketch-index candidate
+        generator (:class:`repro.discovery.index.CandidateFilteredMatcher`):
+        the service wraps its exact matcher so only column pairs
+        colliding in the joinability index are scored exactly.  At
+        candidate recall 1.0 the DRG is bit-identical to the full
+        quadratic scan — ``benchmarks/bench_sketch_index.py`` gates
+        exactly that — so this flag trades matcher work, not edges.
+    sketch_bands / sketch_rows_per_band:
+        LSH banding layout of the joinability index's MinHash channel;
+        their product must not exceed the signature length
+        (:data:`~repro.discovery.profiles.MINHASH_PERMUTATIONS`).  More
+        bands surface more candidates (higher recall, less pruning).
+    candidate_min_recall:
+        When set (and the sketch index is enabled), the service replays
+        the full quadratic scan over the initial lake via
+        ``verify_exact`` and refuses to start if missed-edge recall
+        falls below this floor — an audited deployment mode.  None (the
+        default) skips the audit; 1.0 demands provable DRG parity.
     seed:
         Seed for sampling and join-representative choices.
     """
@@ -207,6 +227,10 @@ class AutoFeatConfig:
     max_hops: int | None = None
     frontier_strategy: str = "ucb"
     frontier_exploration: float = DEFAULT_FRONTIER_EXPLORATION
+    enable_sketch_index: bool = False
+    sketch_bands: int = 16
+    sketch_rows_per_band: int = 4
+    candidate_min_recall: float | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -298,6 +322,24 @@ class AutoFeatConfig:
             raise ConfigError(
                 f"frontier_exploration must be >= 0, "
                 f"got {self.frontier_exploration}"
+            )
+        if self.sketch_bands < 1 or self.sketch_rows_per_band < 1:
+            raise ConfigError(
+                f"sketch_bands and sketch_rows_per_band must be >= 1, "
+                f"got {self.sketch_bands}x{self.sketch_rows_per_band}"
+            )
+        if self.sketch_bands * self.sketch_rows_per_band > MINHASH_PERMUTATIONS:
+            raise ConfigError(
+                f"sketch banding {self.sketch_bands}x"
+                f"{self.sketch_rows_per_band} exceeds the "
+                f"{MINHASH_PERMUTATIONS}-permutation signature"
+            )
+        if self.candidate_min_recall is not None and not (
+            0.0 < self.candidate_min_recall <= 1.0
+        ):
+            raise ConfigError(
+                f"candidate_min_recall must be in (0, 1] or None, "
+                f"got {self.candidate_min_recall}"
             )
         if self.redundancy_method not in REDUNDANCY_METHODS:
             raise ConfigError(

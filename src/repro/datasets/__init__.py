@@ -1,6 +1,6 @@
 """Synthetic evaluation lakes: planted-signal twins of the Table II datasets."""
 
-from .generators import FlatDataset, make_classification
+from .generators import FlatDataset, WideLake, make_classification, make_wide_lake
 from .lake import DEFAULT_LAKE_THRESHOLD, benchmark_drg, datalake_drg, rename_for_lake
 from .persistence import MANIFEST_NAME, load_lake, load_lake_tables, save_lake
 from .registry import DATASETS, DatasetSpec, build_all, build_dataset, dataset_names
@@ -17,6 +17,8 @@ from .splitter import (
 __all__ = [
     "FlatDataset",
     "make_classification",
+    "WideLake",
+    "make_wide_lake",
     "SplitPlan",
     "LakeBundle",
     "split_into_lake",

@@ -8,6 +8,13 @@ data-lake setting, where joinability edges come from a schema matcher
 from .coma import ColumnMatch, ComaMatcher
 from .distribution import DistributionMatcher, QuantileSketch, quantile_similarity
 from .incremental import IncrementalMatchIndex, MatchCounters, MutationReport
+from .index import (
+    CandidateFilteredMatcher,
+    CandidateStats,
+    JoinabilityIndex,
+    RecallReport,
+    validate_banding,
+)
 from .lsh import LazoMatcher, estimate_containment
 from .name_similarity import (
     jaro_winkler_similarity,
@@ -19,6 +26,7 @@ from .name_similarity import (
 from .profiles import ColumnProfile, TableProfile, profile_column, profile_table
 from .valentine import MatchReport, evaluate_matches, run_matcher
 from .value_overlap import (
+    ValueOverlapMatcher,
     instance_similarity,
     minhash_jaccard,
     numeric_range_overlap,
@@ -43,9 +51,15 @@ __all__ = [
     "instance_similarity",
     "ColumnMatch",
     "ComaMatcher",
+    "ValueOverlapMatcher",
     "IncrementalMatchIndex",
     "MatchCounters",
     "MutationReport",
+    "JoinabilityIndex",
+    "CandidateFilteredMatcher",
+    "CandidateStats",
+    "RecallReport",
+    "validate_banding",
     "LazoMatcher",
     "estimate_containment",
     "DistributionMatcher",

@@ -176,7 +176,13 @@ class IncrementalMatchIndex:
         if not hasattr(self.matcher, "match_profiles"):
             return None
         self.counters.profiles_built += 1
-        return profile_table(table)
+        profile = profile_table(table)
+        if hasattr(self.matcher, "register_profile"):
+            # Sketch-index matchers keep a standing index: insert (or
+            # replace) this table's sketches now so a mutation never
+            # re-profiles the rest of the lake.
+            self.matcher.register_profile(profile)
+        return profile
 
     def _match_pair(
         self, name_a: str, name_b: str, right_table: Table | None = None
@@ -331,6 +337,8 @@ class IncrementalMatchIndex:
         del self._profiles[name]
         for pair in pairs:
             del self._matches[pair]
+        if hasattr(self.matcher, "drop_table"):
+            self.matcher.drop_table(name)
         delta = DrgDelta(dropped=(name,))
         return self._finish(
             "drop",

@@ -18,8 +18,8 @@ from collections import defaultdict
 import numpy as np
 
 from ..dataframe import Table
-from ..errors import DiscoveryError
-from .profiles import MINHASH_PERMUTATIONS, ColumnProfile, TableProfile, profile_table
+from .index import validate_banding
+from .profiles import ColumnProfile, TableProfile, profile_table
 
 __all__ = ["LazoMatcher", "estimate_containment"]
 
@@ -59,13 +59,7 @@ class LazoMatcher:
         rows_per_band: int = 4,
         min_score: float = 0.3,
     ):
-        if bands * rows_per_band > MINHASH_PERMUTATIONS:
-            raise DiscoveryError(
-                f"banding {bands}x{rows_per_band} exceeds the "
-                f"{MINHASH_PERMUTATIONS}-permutation signature"
-            )
-        if bands < 1 or rows_per_band < 1:
-            raise DiscoveryError("bands and rows_per_band must be >= 1")
+        validate_banding(bands, rows_per_band)
         self.bands = bands
         self.rows_per_band = rows_per_band
         self.min_score = min_score

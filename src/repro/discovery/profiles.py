@@ -29,8 +29,19 @@ def _stable_hash(token: str) -> int:
     return int.from_bytes(digest, "little")
 
 
+#: Token-batch size for the vectorised permutation step: bounds the
+#: (chunk × n_perm) uint64 scratch matrix at ~2 MiB however many distinct
+#: values a column holds.
+_MINHASH_CHUNK = 4096
+
+
 def _minhash_signature(tokens: set[str], n_perm: int = MINHASH_PERMUTATIONS) -> np.ndarray:
-    """MinHash signature of a token set under ``n_perm`` linear permutations."""
+    """MinHash signature of a token set under ``n_perm`` linear permutations.
+
+    The permutation step is one outer product per token chunk instead of a
+    python loop over tokens; uint64 multiplication wraps identically
+    elementwise, so the signature is bit-identical to the scalar recipe.
+    """
     signature = np.full(n_perm, np.iinfo(np.uint64).max, dtype=np.uint64)
     if not tokens:
         return signature
@@ -38,9 +49,10 @@ def _minhash_signature(tokens: set[str], n_perm: int = MINHASH_PERMUTATIONS) -> 
     a = rng.integers(1, _MERSENNE_PRIME, size=n_perm, dtype=np.uint64)
     b = rng.integers(0, _MERSENNE_PRIME, size=n_perm, dtype=np.uint64)
     hashes = np.asarray([_stable_hash(t) for t in tokens], dtype=np.uint64)
-    for h in hashes:
-        permuted = (a * h + b) % _MERSENNE_PRIME
-        signature = np.minimum(signature, permuted)
+    for lo in range(0, hashes.size, _MINHASH_CHUNK):
+        chunk = hashes[lo : lo + _MINHASH_CHUNK]
+        permuted = (chunk[:, None] * a[None, :] + b[None, :]) % _MERSENNE_PRIME
+        signature = np.minimum(signature, permuted.min(axis=0))
     return signature
 
 

@@ -8,9 +8,13 @@ were truncated.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
-from .profiles import ColumnProfile
+from ..dataframe import Table
+from ..errors import DiscoveryError
+from .profiles import ColumnProfile, TableProfile, profile_table
 
 __all__ = [
     "sketch_jaccard",
@@ -18,6 +22,7 @@ __all__ = [
     "minhash_jaccard",
     "numeric_range_overlap",
     "instance_similarity",
+    "ValueOverlapMatcher",
 ]
 
 
@@ -75,3 +80,66 @@ def instance_similarity(a: ColumnProfile, b: ColumnProfile) -> float:
     containment = sketch_containment(a, b)
     jaccard = sketch_jaccard(a, b)
     return 0.7 * containment + 0.3 * jaccard
+
+
+class ValueOverlapMatcher:
+    """Pure instance-level matcher: names are ignored entirely.
+
+    Scores every column pair with :func:`instance_similarity` alone —
+    the "instance-only strategy" knob of the paper's Valentine setup,
+    and the adversarial counterpart to :class:`~repro.discovery.ComaMatcher`
+    for candidate-filtering parity tests (no name channel can rescue a
+    missed value collision).  Same ``Matcher`` protocol, same
+    ``(-score, column_a, column_b)`` output order.
+    """
+
+    def __init__(self, min_score: float = 0.3):
+        if not 0.0 <= min_score <= 1.0:
+            raise DiscoveryError(
+                f"min_score must be within [0, 1], got {min_score}"
+            )
+        self._min_score = min_score
+        # Same weakref-guarded id-keyed cache recipe as ComaMatcher.
+        self._profile_cache: dict[int, tuple[weakref.ref[Table], TableProfile]] = {}
+
+    def _evict_profile(self, key: int, ref: weakref.ref) -> None:
+        entry = self._profile_cache.get(key)
+        if entry is not None and entry[0] is ref:
+            del self._profile_cache[key]
+
+    def _profiles(self, table: Table) -> TableProfile:
+        key = id(table)
+        entry = self._profile_cache.get(key)
+        if entry is not None and entry[0]() is table:
+            return entry[1]
+        profile = profile_table(table)
+        ref = weakref.ref(table, lambda r, key=key: self._evict_profile(key, r))
+        self._profile_cache[key] = (ref, profile)
+        return profile
+
+    def match_profiles(
+        self, profiles_a: TableProfile, profiles_b: TableProfile
+    ) -> list[tuple[str, str, float]]:
+        """Instance-similarity scores of every column pair, sorted."""
+        matches = []
+        for col_a in profiles_a.columns:
+            for col_b in profiles_b.columns:
+                score = instance_similarity(col_a, col_b)
+                if score >= self._min_score:
+                    matches.append(
+                        (
+                            col_a.column_name,
+                            col_b.column_name,
+                            round(float(score), 6),
+                        )
+                    )
+        matches.sort(key=lambda t: (-t[2], t[0], t[1]))
+        return matches
+
+    def match(self, table_a: Table, table_b: Table):
+        """Scored column pairs of two tables (profiles are cached)."""
+        return self.match_profiles(self._profiles(table_a), self._profiles(table_b))
+
+    def __call__(self, table_a: Table, table_b: Table):
+        """DRG ``Matcher`` protocol adapter."""
+        yield from self.match(table_a, table_b)

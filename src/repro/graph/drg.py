@@ -20,6 +20,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from ..dataframe import Table
 from ..errors import GraphError
+from ..obs import NULL_TRACER
 from .multigraph import MultiGraph, OrientedEdge
 
 __all__ = ["KFKConstraint", "DrgDelta", "DatasetRelationGraph"]
@@ -115,6 +116,7 @@ class DatasetRelationGraph:
         tables: Sequence[Table],
         matcher: Matcher,
         threshold: float = 0.55,
+        tracer=NULL_TRACER,
     ) -> "DatasetRelationGraph":
         """Data-lake setting: discover edges with a schema matcher.
 
@@ -123,16 +125,40 @@ class DatasetRelationGraph:
         paper's default threshold of 0.55 deliberately lets spurious (but
         not absurd) connections through — AutoFeat's pruning is supposed to
         handle them.
+
+        Index-backed matchers (:class:`~repro.discovery.index
+        .CandidateFilteredMatcher`) expose two optional hooks honoured
+        here: ``begin_lake(tables)`` builds the standing sketch index
+        once up front (traced as the ``drg.index_build`` span), and
+        ``candidate_table_pairs()`` enumerates the only table pairs with
+        any candidate column pair — in canonical ``combinations`` order —
+        so construction skips pairs an exact scan would score to nothing.
+        At candidate recall 1.0 the resulting DRG is bit-identical to the
+        full quadratic scan's.
         """
         if not 0.0 < threshold <= 1.0:
             raise GraphError(f"threshold must be in (0, 1], got {threshold}")
         drg = cls(tables)
-        for table_a, table_b in combinations(tables, 2):
-            for column_a, column_b, score in matcher(table_a, table_b):
-                if score >= threshold:
-                    drg.add_relationship(
-                        table_a.name, column_a, table_b.name, column_b, weight=score
-                    )
+        if hasattr(matcher, "begin_lake"):
+            with tracer.span("drg.index_build", tables=len(tables)):
+                matcher.begin_lake(tables)
+        if hasattr(matcher, "candidate_table_pairs"):
+            by_name = {table.name: table for table in tables}
+            pairs = [
+                (by_name[name_a], by_name[name_b])
+                for name_a, name_b in matcher.candidate_table_pairs()
+            ]
+        else:
+            pairs = list(combinations(tables, 2))
+        with tracer.span(
+            "drg.match", tables=len(tables), table_pairs=len(pairs)
+        ):
+            for table_a, table_b in pairs:
+                for column_a, column_b, score in matcher(table_a, table_b):
+                    if score >= threshold:
+                        drg.add_relationship(
+                            table_a.name, column_a, table_b.name, column_b, weight=score
+                        )
         return drg
 
     def add_relationship(

@@ -44,9 +44,13 @@ from dataclasses import dataclass, field, replace
 from ..core import AutoFeat, AutoFeatConfig
 from ..core.result import AugmentationResult, DiscoveryResult
 from ..dataframe import Table
-from ..discovery import IncrementalMatchIndex, MutationReport
+from ..discovery import (
+    CandidateFilteredMatcher,
+    IncrementalMatchIndex,
+    MutationReport,
+)
 from ..engine import HopCache
-from ..errors import ServiceError
+from ..errors import DiscoveryError, ServiceError
 from ..obs import MetricsRegistry, RunManifest, build_manifest, flat_node
 from ..obs.manifest import config_snapshot
 from .state import CachedEntry, LakeSnapshot, reachable_within
@@ -180,7 +184,12 @@ class DiscoveryService:
     matcher:
         Schema matcher for edge discovery (:class:`~repro.discovery
         .ComaMatcher` by default; any ``Matcher`` works, profile-aware
-        ones incrementally).
+        ones incrementally).  With ``config.enable_sketch_index`` the
+        matcher is wrapped in a :class:`~repro.discovery
+        .CandidateFilteredMatcher` so only sketch-index candidates are
+        scored exactly; ``config.candidate_min_recall`` additionally
+        audits the initial lake against the full quadratic scan and
+        refuses to start below the floor.
     threshold:
         Edge-score threshold, as in ``from_discovery``.
     config:
@@ -207,8 +216,9 @@ class DiscoveryService:
             raise ServiceError(f"n_workers must be >= 1, got {n_workers}")
         self.config = config or AutoFeatConfig()
         self.index = IncrementalMatchIndex(
-            tables, matcher=matcher, threshold=threshold
+            tables, matcher=self._resolve_matcher(matcher), threshold=threshold
         )
+        self.recall_report = self._verify_candidate_recall(threshold)
         self.hop_cache = HopCache(enabled=self.config.enable_hop_cache)
         self.registry = MetricsRegistry()
         self._snapshot = LakeSnapshot(version=0, drg=self.index.drg)
@@ -228,6 +238,43 @@ class DiscoveryService:
         ]
         for worker in self._workers:
             worker.start()
+
+    def _resolve_matcher(self, matcher):
+        """Wrap the exact matcher in the sketch index when configured."""
+        if not self.config.enable_sketch_index:
+            return matcher
+        if isinstance(matcher, CandidateFilteredMatcher):
+            return matcher
+        return CandidateFilteredMatcher(
+            matcher,
+            bands=self.config.sketch_bands,
+            rows_per_band=self.config.sketch_rows_per_band,
+        )
+
+    def _verify_candidate_recall(self, threshold: float):
+        """Audit the initial lake against the full quadratic scan.
+
+        Only runs when ``config.candidate_min_recall`` is set and the
+        index is actually a candidate filter; returns the
+        :class:`~repro.discovery.RecallReport` (or None when skipped) and
+        raises :class:`~repro.errors.DiscoveryError` below the floor.
+        """
+        floor = self.config.candidate_min_recall
+        if floor is None or not isinstance(
+            self.index.matcher, CandidateFilteredMatcher
+        ):
+            return None
+        report = self.index.matcher.verify_exact(
+            self.index.tables, threshold=threshold
+        )
+        if report.recall < floor:
+            raise DiscoveryError(
+                f"sketch-index candidate recall {report.recall:.6f} is "
+                f"below the configured floor {floor} "
+                f"({len(report.missed)} of {report.edges_expected} "
+                f"would-be edges missed)"
+            )
+        return report
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -592,7 +639,7 @@ class DiscoveryService:
         """One JSON-safe snapshot of the whole service's warm state."""
         with self._results_lock:
             cached_results = len(self._results)
-        return {
+        out = {
             "snapshot_version": self._snapshot.version,
             "n_tables": self._snapshot.n_tables,
             "n_relationships": self._snapshot.drg.n_relationships,
@@ -603,3 +650,8 @@ class DiscoveryService:
             "match_index": self.index.counters.as_dict(),
             "metrics": self.registry.as_dict(),
         }
+        if isinstance(self.index.matcher, CandidateFilteredMatcher):
+            out["sketch_index"] = self.index.matcher.stats.as_dict()
+            if self.recall_report is not None:
+                out["candidate_recall"] = self.recall_report.as_dict()
+        return out

@@ -1,0 +1,325 @@
+"""Unit tests for the joinability index and the candidate-filtered matcher."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Table
+from repro.discovery import (
+    CandidateFilteredMatcher,
+    ComaMatcher,
+    JoinabilityIndex,
+    ValueOverlapMatcher,
+    validate_banding,
+)
+from repro.discovery.profiles import MINHASH_PERMUTATIONS, profile_table
+from repro.errors import DiscoveryError
+from repro.graph import DatasetRelationGraph
+from repro.obs import MetricsRegistry
+
+
+def make_table(name, columns):
+    return Table(columns, name=name)
+
+
+@pytest.fixture(scope="module")
+def key_tables():
+    """Two tables joinable through an identically named unique key."""
+    n = 40
+    ids = np.arange(n)
+    left = make_table(
+        "left", {"user_id": ids, "score": np.linspace(0.0, 1.0, n) + 0.001}
+    )
+    right = make_table(
+        "right", {"user_id": ids[: n - 4], "other": np.arange(n - 4) + 0.5}
+    )
+    return left, right
+
+
+class TestValidateBanding:
+    def test_full_signature_layout_ok(self):
+        validate_banding(16, 4)
+        validate_banding(1, MINHASH_PERMUTATIONS)
+        validate_banding(MINHASH_PERMUTATIONS, 1)
+
+    def test_oversized_layout_raises(self):
+        with pytest.raises(DiscoveryError):
+            validate_banding(13, 5)  # 65 > 64
+        with pytest.raises(DiscoveryError):
+            validate_banding(1000, 1000)
+
+    def test_degenerate_layouts_raise(self):
+        for bands, rows in ((0, 4), (4, 0), (-1, 4), (4, -1), (0, 0)):
+            with pytest.raises(DiscoveryError):
+                validate_banding(bands, rows)
+
+    def test_index_and_wrapper_validate_eagerly(self):
+        with pytest.raises(DiscoveryError):
+            JoinabilityIndex(bands=13, rows_per_band=5)
+        with pytest.raises(DiscoveryError):
+            CandidateFilteredMatcher(ComaMatcher(), bands=0)
+
+
+class TestJoinabilityIndex:
+    def test_register_and_query(self, key_tables):
+        left, right = key_tables
+        index = JoinabilityIndex()
+        index.register(profile_table(left))
+        index.register(profile_table(right))
+        assert "left" in index and "right" in index
+        assert index.n_columns == 4
+        candidates = index.candidate_columns("left", "right")
+        assert ("user_id", "user_id") in candidates
+
+    def test_candidates_are_order_independent(self, key_tables):
+        left, right = key_tables
+        forward = JoinabilityIndex()
+        forward.register(profile_table(left))
+        forward.register(profile_table(right))
+        backward = JoinabilityIndex()
+        backward.register(profile_table(right))
+        backward.register(profile_table(left))
+        assert forward.candidate_columns(
+            "left", "right"
+        ) == backward.candidate_columns("left", "right")
+
+    def test_unknown_table_raises(self, key_tables):
+        left, _ = key_tables
+        index = JoinabilityIndex()
+        index.register(profile_table(left))
+        with pytest.raises(DiscoveryError):
+            index.candidate_columns("left", "ghost")
+        with pytest.raises(DiscoveryError):
+            index.evict("ghost")
+
+    def test_reregister_replaces(self, key_tables):
+        left, _ = key_tables
+        index = JoinabilityIndex()
+        index.register(profile_table(left))
+        replacement = make_table("left", {"only": np.arange(7)})
+        index.register(profile_table(replacement))
+        assert index.n_columns == 1
+
+    def test_evict_clears_buckets(self, key_tables):
+        left, right = key_tables
+        index = JoinabilityIndex()
+        index.register(profile_table(left))
+        index.register(profile_table(right))
+        index.evict("left")
+        assert "left" not in index
+        assert index.n_columns == 2
+        assert not index._keys.keys() & {
+            ("left", "user_id"),
+            ("left", "score"),
+        }
+
+    def test_name_channel_catches_case_and_separators(self):
+        a = make_table("a", {"CreditID": np.arange(30)})
+        b = make_table("b", {"credit_id": np.arange(1000, 1030)})
+        index = JoinabilityIndex()
+        index.register(profile_table(a))
+        index.register(profile_table(b))
+        assert index.candidate_columns("a", "b") == [("CreditID", "credit_id")]
+
+    def test_token_channel_catches_reordered_tokens(self):
+        a = make_table("a", {"id_credit": np.arange(30)})
+        b = make_table("b", {"credit_id": np.arange(1000, 1030)})
+        index = JoinabilityIndex()
+        index.register(profile_table(a))
+        index.register(profile_table(b))
+        assert index.candidate_columns("a", "b") == [("id_credit", "credit_id")]
+
+    def test_value_channel_catches_small_domain_containment(self):
+        # Jaccard 0.25: MinHash bands collide with probability ~6% at
+        # 16x4, but the inverted sketch-value channel is deterministic.
+        a = make_table("a", {"flag": np.array([0, 1] * 10)})
+        b = make_table("b", {"region": np.arange(8).repeat(3)})
+        index = JoinabilityIndex()
+        index.register(profile_table(a))
+        index.register(profile_table(b))
+        assert index.candidate_columns("a", "b") == [("flag", "region")]
+
+    def test_band_channel_catches_renamed_value_copy(self):
+        values = np.arange(500, 900)
+        a = make_table("a", {"zzz": values})
+        b = make_table("b", {"qqq": values[:380]})
+        index = JoinabilityIndex()
+        index.register(profile_table(a))
+        index.register(profile_table(b))
+        assert index.candidate_columns("a", "b") == [("zzz", "qqq")]
+
+    def test_disjoint_unrelated_columns_not_candidates(self):
+        a = make_table("a", {"alpha": np.arange(30)})
+        b = make_table("b", {"omega": np.arange(5000, 5030)})
+        index = JoinabilityIndex()
+        index.register(profile_table(a))
+        index.register(profile_table(b))
+        assert index.candidate_columns("a", "b") == []
+
+    def test_table_pairs_match_column_candidates(self, key_tables):
+        left, right = key_tables
+        lonely = make_table("lonely", {"qq_zz": np.arange(9000, 9040)})
+        index = JoinabilityIndex()
+        positions = {}
+        for i, table in enumerate((left, right, lonely)):
+            index.register(profile_table(table))
+            positions[table.name] = i
+        pairs = index.candidate_table_pairs(positions)
+        # Consistency invariant: exactly the pairs whose column-candidate
+        # set is non-empty, in canonical table order.
+        from itertools import combinations
+
+        expected = [
+            (a, b)
+            for a, b in combinations(positions, 2)
+            if index.candidate_columns(a, b)
+        ]
+        assert pairs == expected
+        assert ("left", "right") in pairs
+
+
+class TestCandidateFilteredMatcher:
+    def test_requires_profile_aware_matcher(self):
+        with pytest.raises(DiscoveryError):
+            CandidateFilteredMatcher(lambda a, b: [])
+
+    def test_match_parity_with_exact(self, key_tables):
+        left, right = key_tables
+        exact = ComaMatcher().match(left, right)
+        filtered = CandidateFilteredMatcher(ComaMatcher()).match(left, right)
+        assert [
+            (m.column_a, m.column_b, m.score, m.name_score, m.instance_score)
+            for m in exact
+        ] == [
+            (m.column_a, m.column_b, m.score, m.name_score, m.instance_score)
+            for m in filtered
+        ]
+
+    def test_call_yields_tuples(self, key_tables):
+        left, right = key_tables
+        out = list(CandidateFilteredMatcher(ComaMatcher())(left, right))
+        assert out and all(len(t) == 3 for t in out)
+        assert out[0][:2] == ("user_id", "user_id")
+
+    def test_value_overlap_inner_matcher(self, key_tables):
+        left, right = key_tables
+        exact = ValueOverlapMatcher().match(left, right)
+        filtered = CandidateFilteredMatcher(ValueOverlapMatcher()).match(
+            left, right
+        )
+        assert exact == filtered
+
+    def test_pairwise_counters(self, key_tables):
+        left, right = key_tables
+        wrapped = CandidateFilteredMatcher(ComaMatcher())
+        wrapped.match(left, right)
+        stats = wrapped.stats
+        assert stats.pairs_considered == 4  # 2 columns x 2 columns
+        assert 0 < stats.pairs_scored <= stats.pairs_considered
+        assert stats.candidates_pruned == (
+            stats.pairs_considered - stats.pairs_scored
+        )
+        assert stats.tables_registered == 2
+        assert stats.columns_registered == 4
+        assert stats.table_pairs_probed == 1
+
+    def test_begin_lake_analytic_accounting(self, key_tables):
+        left, right = key_tables
+        wrapped = CandidateFilteredMatcher(ComaMatcher())
+        wrapped.begin_lake([left, right])
+        assert wrapped.stats.pairs_considered == 4
+        pairs = wrapped.candidate_table_pairs()
+        assert pairs == [("left", "right")]
+        wrapped.match(left, right)
+        # Lake-mode pairs were charged analytically — no double count.
+        assert wrapped.stats.pairs_considered == 4
+
+    def test_begin_lake_evicts_stale_tables(self, key_tables):
+        left, right = key_tables
+        wrapped = CandidateFilteredMatcher(ComaMatcher())
+        wrapped.begin_lake([left, right])
+        wrapped.begin_lake([left])
+        assert wrapped.index.table_names == ["left"]
+        with pytest.raises(DiscoveryError):
+            wrapped.index.candidate_columns("left", "right")
+
+    def test_candidate_table_pairs_requires_begin_lake(self):
+        with pytest.raises(DiscoveryError):
+            CandidateFilteredMatcher(ComaMatcher()).candidate_table_pairs()
+
+    def test_drop_table_tolerates_unknown(self, key_tables):
+        left, _ = key_tables
+        wrapped = CandidateFilteredMatcher(ComaMatcher())
+        wrapped.match(left, left)
+        wrapped.drop_table("never-registered")
+        wrapped.drop_table("left")
+        assert "left" not in wrapped.index
+
+    def test_stats_publish_round_trip(self, key_tables):
+        left, right = key_tables
+        wrapped = CandidateFilteredMatcher(ComaMatcher())
+        wrapped.match(left, right)
+        registry = MetricsRegistry()
+        wrapped.stats.publish(registry)
+        payload = wrapped.stats.as_dict()
+        assert (
+            registry.counter("sketch_index.pairs_considered").value
+            == payload["pairs_considered"]
+        )
+        assert (
+            registry.counter("sketch_index.candidates_pruned").value
+            == payload["candidates_pruned"]
+        )
+        assert 0.0 <= payload["prune_ratio"] <= 1.0
+
+    def test_drg_construction_parity(self, key_tables):
+        tables = list(key_tables)
+        reference = DatasetRelationGraph.from_discovery(
+            tables, ComaMatcher(), threshold=0.55
+        )
+        filtered = DatasetRelationGraph.from_discovery(
+            tables, CandidateFilteredMatcher(ComaMatcher()), threshold=0.55
+        )
+        assert reference.table_names == filtered.table_names
+        assert reference.edge_fingerprint() == filtered.edge_fingerprint()
+
+
+class TestVerifyExact:
+    def test_perfect_recall_on_key_lake(self, key_tables):
+        wrapped = CandidateFilteredMatcher(ComaMatcher())
+        report = wrapped.verify_exact(list(key_tables), threshold=0.55)
+        assert report.recall == 1.0
+        assert report.edges_expected >= 1
+        assert report.missed == ()
+
+    def test_vacuous_recall_without_edges(self):
+        a = make_table("a", {"alpha": np.arange(30)})
+        b = make_table("b", {"omega": np.arange(5000, 5030)})
+        wrapped = CandidateFilteredMatcher(ComaMatcher())
+        report = wrapped.verify_exact([a, b], threshold=0.55)
+        assert report.edges_expected == 0
+        assert report.recall == 1.0
+
+    def test_constructed_miss_is_reported(self):
+        # The documented blind spot: many shared name tokens but no
+        # identical token *set*, over disjoint value sets.  COMA's name
+        # evidence alone clears the paper's 0.55, yet no channel
+        # collides — verify_exact must surface exactly that.
+        col_a = "_".join(list("abcdefghijklmnopqrstuv") + ["id"])
+        col_b = "_".join(list("abcdefghijklmnopqrstuv") + ["key"])
+        a = make_table("a", {col_a: np.arange(20)})
+        b = make_table("b", {col_b: np.arange(7000, 7020)})
+        exact = ComaMatcher().match(a, b)
+        assert exact and exact[0].score >= 0.55  # the premise of the test
+        wrapped = CandidateFilteredMatcher(ComaMatcher())
+        report = wrapped.verify_exact([a, b], threshold=0.55)
+        assert report.recall < 1.0
+        assert report.missed == (("a", col_a, "b", col_b, exact[0].score),)
+
+    def test_accepts_profiles_directly(self, key_tables):
+        left, right = key_tables
+        wrapped = CandidateFilteredMatcher(ComaMatcher())
+        report = wrapped.verify_exact(
+            [profile_table(left), profile_table(right)], threshold=0.55
+        )
+        assert report.recall == 1.0
+        assert report.table_pairs == 1

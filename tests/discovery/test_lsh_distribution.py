@@ -36,15 +36,64 @@ class TestEstimateContainment:
     def test_zero_jaccard(self):
         assert estimate_containment(0.0, 100, 100) == 0.0
 
+    def test_negative_jaccard_treated_as_disjoint(self):
+        assert estimate_containment(-0.2, 100, 100) == 0.0
+
     def test_small_in_large(self):
         # |A|=10 fully inside |B|=1000: J = 10/1000 = 0.01.
         assert estimate_containment(0.01, 10, 1000) == pytest.approx(1.0, abs=0.05)
 
+    def test_asymmetric_cardinalities_symmetric_result(self):
+        # Containment is of the *smaller* side: argument order is moot.
+        assert estimate_containment(0.05, 20, 500) == estimate_containment(
+            0.05, 500, 20
+        )
+
     def test_clipped_at_one(self):
         assert estimate_containment(0.9, 50, 50) <= 1.0
+        # Overestimated Jaccard would push containment past 1 unclipped:
+        # J=1 gives intersection (|A|+|B|)/2 = 55 > min = 10.
+        assert estimate_containment(1.0, 10, 100) == 1.0
 
     def test_empty_sets(self):
         assert estimate_containment(0.5, 0, 10) == 0.0
+        assert estimate_containment(0.5, 10, 0) == 0.0
+        assert estimate_containment(0.5, 0, 0) == 0.0
+
+    def test_monotone_in_jaccard(self):
+        scores = [
+            estimate_containment(j / 10.0, 80, 120) for j in range(11)
+        ]
+        assert scores == sorted(scores)
+        assert all(0.0 <= s <= 1.0 for s in scores)
+
+
+class TestMinhashContainmentRecall:
+    def test_estimate_tracks_exact_containment(self):
+        """Statistical gate: over seeded random value-set pairs, the
+        MinHash-estimated containment stays close to the exact one."""
+        from repro.discovery.profiles import _minhash_signature
+
+        rng = np.random.default_rng(0xC0FFEE)
+        errors = []
+        for _ in range(30):
+            n_a = int(rng.integers(30, 400))
+            n_b = int(rng.integers(30, 400))
+            overlap = int(rng.integers(0, min(n_a, n_b) + 1))
+            shared = {f"s{i}" for i in range(overlap)}
+            set_a = shared | {f"a{i}" for i in range(n_a - overlap)}
+            set_b = shared | {f"b{i}" for i in range(n_b - overlap)}
+            sig_a = _minhash_signature(set_a)
+            sig_b = _minhash_signature(set_b)
+            est_jaccard = float(np.mean(sig_a == sig_b))
+            estimated = estimate_containment(est_jaccard, len(set_a), len(set_b))
+            exact = overlap / min(n_a, n_b)
+            errors.append(abs(estimated - exact))
+        # 64 permutations are noisy per pair but unbiased in aggregate:
+        # the aggregate bound is the real gate, the per-pair one just
+        # catches gross estimator breakage.
+        assert max(errors) < 0.45
+        assert float(np.mean(errors)) < 0.10
 
 
 class TestLazoMatcher:
@@ -74,6 +123,30 @@ class TestLazoMatcher:
             LazoMatcher(bands=1000, rows_per_band=1000)
         with pytest.raises(DiscoveryError):
             LazoMatcher(bands=0)
+
+    def test_banding_boundary_layouts(self, tables):
+        from repro.discovery.profiles import MINHASH_PERMUTATIONS
+
+        # Exactly-full layouts are legal and usable end to end.
+        for bands, rows in (
+            (16, 4),
+            (1, MINHASH_PERMUTATIONS),
+            (MINHASH_PERMUTATIONS, 1),
+            (2, 32),
+        ):
+            assert bands * rows == MINHASH_PERMUTATIONS
+            assert LazoMatcher(bands=bands, rows_per_band=rows).match(*tables)
+        # One permutation over the signature length fails eagerly, at
+        # construction — not deep inside signature slicing.
+        with pytest.raises(DiscoveryError):
+            LazoMatcher(bands=13, rows_per_band=5)  # 65 > 64
+        with pytest.raises(DiscoveryError):
+            LazoMatcher(bands=MINHASH_PERMUTATIONS + 1, rows_per_band=1)
+
+    def test_degenerate_banding_raises(self):
+        for bands, rows in ((0, 4), (4, 0), (-1, 4), (4, -1)):
+            with pytest.raises(DiscoveryError):
+                LazoMatcher(bands=bands, rows_per_band=rows)
 
     def test_usable_as_drg_matcher(self, tables):
         drg = DatasetRelationGraph.from_discovery(
